@@ -1,0 +1,29 @@
+// Command topil-validate runs the calibration self-checks of the simulated
+// platform: the physical invariants (frequency scaling, big/LITTLE
+// asymmetry, leakage feedback, cooling ordering, engine conservation and
+// determinism) that the reproduction's policy comparisons rest on. It exits
+// non-zero if any check fails.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/validate"
+)
+
+func main() {
+	results := validate.All()
+	for _, r := range results {
+		status := "PASS"
+		if !r.OK {
+			status = "FAIL"
+		}
+		fmt.Printf("%-4s %-40s %s\n", status, r.Name, r.Detail)
+	}
+	if failed := validate.Failed(results); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d checks failed\n", len(failed), len(results))
+		os.Exit(1)
+	}
+	fmt.Printf("all %d checks passed\n", len(results))
+}

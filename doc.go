@@ -1,0 +1,29 @@
+// Package repro is a from-scratch Go reproduction of "NPU-Accelerated
+// Imitation Learning for Thermal Optimization of QoS-Constrained
+// Heterogeneous Multi-Cores" (Rapp, Khdr, Krohmer, Henkel; DATE'22 and its
+// journal extension).
+//
+// The paper's system — TOP-IL — minimizes the on-chip temperature of an
+// Arm big.LITTLE processor under per-application QoS (IPS) targets, by
+// combining imitation-learned, NPU-accelerated application migration with a
+// per-cluster DVFS control loop. The original evaluation runs on a HiKey970
+// board; this repository substitutes the board with a calibrated simulation
+// (platform, power, RC-thermal, performance and workload models) and
+// rebuilds everything above it: the oracle/training pipeline, the neural
+// network and NPU model, the TOP-IL run-time, the TOP-RL baseline and the
+// Linux GTS/ondemand/powersave baselines.
+//
+// Layout:
+//
+//	internal/core         TOP-IL (the paper's contribution)
+//	internal/{platform,perf,power,thermal,sim,workload}  platform substrate
+//	internal/{nn,npu,features,oracle}                    learning substrate
+//	internal/{rl,governor}                               baselines
+//	internal/experiments  every figure of the evaluation
+//	cmd/...               train / simulate / reproduce-all tools
+//	examples/...          runnable API demos
+//
+// See README.md for usage, DESIGN.md for the system inventory and
+// substitution rationale, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmark harness in bench_test.go regenerates every table and figure.
+package repro

@@ -1,0 +1,62 @@
+// Floorplan: deriving the thermal model from die geometry.
+//
+// The experiments use a hand-calibrated RC network for the HiKey970. This
+// example shows the geometry path: an approximate Kirin 970 CPU-corner
+// floorplan (four small A53 blocks, four large A73 blocks) is turned into
+// an RC network à la compact thermal modelling, and the two models are
+// compared on the paper's central thermal asymmetry — the same power is
+// hotter on a LITTLE core than on a big core, and neighbours heat each
+// other.
+//
+//	go run ./examples/floorplan
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/thermal"
+)
+
+func main() {
+	blocks := thermal.HiKey970Floorplan()
+	fmt.Println("Kirin 970 CPU-corner floorplan (mm):")
+	for _, b := range blocks {
+		fmt.Printf("  %-8s at (%.2f, %.2f), %.2f × %.2f = %.2f mm²\n",
+			b.Name, b.X, b.Y, b.W, b.H, b.Area())
+	}
+
+	fp, pkg := thermal.FromFloorplan(blocks, thermal.DefaultFloorplanConfig(true, 25))
+	hand := thermal.HiKey970Network(true, 25)
+
+	rise := func(n *thermal.Network, core int, w float64) float64 {
+		p := make([]float64, len(n.Nodes))
+		p[core] = w
+		return n.SteadyState(p)[core] - 25
+	}
+
+	fmt.Println("\nsteady-state rise for 1.5 W into a single core:")
+	table := stats.NewTable("core", "floorplan model", "calibrated preset")
+	for _, c := range []struct {
+		name string
+		idx  int
+	}{{"little0", 0}, {"little3", 3}, {"big0", 4}, {"big3", 7}} {
+		table.AddRow(c.name,
+			fmt.Sprintf("%.2f K", rise(fp, c.idx, 1.5)),
+			fmt.Sprintf("%.2f K", rise(hand, c.idx, 1.5)))
+	}
+	fmt.Print(table.String())
+
+	// Spatial coupling: heat big0 and look at its neighbours.
+	p := make([]float64, len(fp.Nodes))
+	p[4] = 3
+	ss := fp.SteadyState(p)
+	fmt.Println("\n3 W into big0 — neighbour temperatures (floorplan model):")
+	for i, b := range blocks {
+		fmt.Printf("  %-8s %.2f °C\n", b.Name, ss[i])
+	}
+	fmt.Printf("  package  %.2f °C\n", ss[pkg])
+	fmt.Println("\nBoth models agree on the orderings the policies exploit:")
+	fmt.Println("LITTLE cores run hotter per watt (smaller area), and heat")
+	fmt.Println("spreads to neighbours before the far cluster.")
+}

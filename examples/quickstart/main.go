@@ -1,0 +1,74 @@
+// Quickstart: the full TOP-IL pipeline end to end, in miniature.
+//
+// It builds the simulated HiKey970, collects a small set of oracle traces,
+// trains the IL migration model, and runs a managed two-application
+// workload — the paper's motivational pair adi (big-optimal) and seidel-2d
+// (LITTLE-optimal) — printing where the policy placed each application and
+// the resulting temperature.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/npu"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Design time: oracle traces + imitation learning. The pipeline
+	// caches everything; QuickScale keeps this to roughly a minute.
+	pipe := experiments.NewPipeline(experiments.QuickScale())
+	pipe.Progress = func(msg string) { log.Print(msg) }
+	models, err := pipe.Models()
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := models[0]
+	fmt.Printf("trained IL model: %d parameters\n", model.NumParams())
+
+	// 2. Run time: the TOP-IL daemon — NPU-accelerated migration every
+	// 500 ms plus the 50 ms DVFS control loop.
+	manager := core.New(npu.New(model), core.DefaultConfig())
+
+	cfg := sim.DefaultConfig(true, 25) // active cooling, 25 °C ambient
+	engine := sim.New(cfg)
+
+	pm := perf.Default()
+	for _, name := range []string{"adi", "seidel-2d"} {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", name)
+		}
+		spec.TotalInstr = 60e9
+		// QoS target: 30 % of the peak IPS on the big cluster, as in the
+		// paper's motivational example.
+		target := 0.3 * pm.PeakIPS(cfg.Platform, spec)
+		engine.AddJob(workload.Job{Spec: spec, QoS: target})
+		fmt.Printf("submitted %-10s QoS target %.2f GIPS\n", name, target/1e9)
+	}
+
+	result := engine.RunUntil(manager, 120, engine.Done)
+
+	fmt.Printf("\nafter %.0f simulated seconds:\n", result.Duration)
+	for _, a := range result.Apps {
+		cluster := cfg.Platform.KindOf(a.Core)
+		fmt.Printf("  %-10s finished on core %d (%v cluster), %.2f GIPS achieved\n",
+			a.Name, a.Core, cluster, a.MeanIPS/1e9)
+	}
+	fmt.Printf("\naverage temperature: %.1f °C (peak %.1f °C)\n",
+		result.AvgTemp, result.PeakTemp)
+	fmt.Printf("QoS violations:      %d\n", result.Violations)
+	fmt.Printf("migrations:          %d\n", result.Migrations)
+	fmt.Println("\nExpected: adi on the big cluster, seidel-2d on LITTLE —")
+	fmt.Println("the optimal mappings of the paper's Fig. 1, found by the NN.")
+
+}

@@ -1,0 +1,89 @@
+// Package core implements TOP-IL, the paper's primary contribution:
+// run-time temperature minimization under QoS targets on a heterogeneous
+// clustered multi-core, combining
+//
+//   - NN-based imitation-learned application migration, executed every
+//     500 ms with one batched (NPU-accelerated) inference per running
+//     application, and
+//   - a per-cluster DVFS control loop, executed every 50 ms, that moves
+//     each cluster one VF step toward the minimum level satisfying all
+//     QoS targets (Eq. 1), skipping two iterations around migrations.
+//
+// It also hosts the design-time training pipeline (train.go) that turns
+// oracle demonstrations into the deployed model, and the model-in-isolation
+// evaluation of the paper.
+package core
+
+import (
+	"repro/internal/features"
+	"repro/internal/sim"
+)
+
+// DVFSLoop is the per-cluster DVFS control loop of Section "Control Loop
+// for Per-Cluster DVFS". It is shared by TOP-IL and the TOP-RL baseline
+// (the paper uses the identical loop for both to isolate the migration
+// policy comparison).
+type DVFSLoop struct {
+	env  *sim.Env
+	skip int
+
+	// Jump disables the paper's one-step adjustment and sets the target
+	// level directly. The linear-scaling estimate of Eq. (1) is only
+	// accurate for small changes, so jumping overshoots — this switch
+	// exists for the ablation study quantifying that design choice.
+	Jump bool
+}
+
+// NewDVFSLoop creates a control loop bound to the environment.
+func NewDVFSLoop(env *sim.Env) *DVFSLoop {
+	return &DVFSLoop{env: env}
+}
+
+// NotifyMigration makes the loop skip its next two iterations: one for the
+// tick in which the migration executes and one directly after, to avoid
+// reacting to the cold-cache QoS dip.
+func (d *DVFSLoop) NotifyMigration() { d.skip = 2 }
+
+// Step runs one control iteration and returns the number of running
+// applications (the caller's overhead accounting scales with it, since
+// reading perf counters dominates the loop's cost).
+func (d *DVFSLoop) Step() int {
+	s := features.FromEnv(d.env)
+	if d.skip > 0 {
+		d.skip--
+		return len(s.Apps)
+	}
+	for ci, cs := range s.Clusters {
+		target := 0 // idle clusters run at the lowest VF level
+		for _, a := range s.Apps {
+			if a.Cluster != ci {
+				continue
+			}
+			f, _ := features.EstimateMinFreq(cs.Freqs, cs.Freq, a.IPS, a.QoS)
+			if idx := freqPos(cs.Freqs, f); idx > target {
+				target = idx
+			}
+		}
+		cur := d.env.ClusterFreqIndex(ci)
+		switch {
+		case d.Jump:
+			d.env.SetClusterFreqIndex(ci, target)
+		case cur < target:
+			d.env.SetClusterFreqIndex(ci, cur+1)
+		case cur > target:
+			d.env.SetClusterFreqIndex(ci, cur-1)
+		}
+	}
+	return len(s.Apps)
+}
+
+// freqPos returns the index of f within freqs (ascending); it falls back to
+// the nearest level if f is not an exact entry.
+func freqPos(freqs []float64, f float64) int {
+	for i, v := range freqs {
+		if v >= f-1e-3 {
+			return i
+		}
+	}
+	return len(freqs) - 1
+}

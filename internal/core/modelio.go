@@ -1,0 +1,39 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/nn"
+)
+
+// SaveModel writes a trained IL model to a JSON file — the deployment
+// artifact the paper converts for the HiAI DDK.
+func SaveModel(m *nn.MLP, path string) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadModel reads a model written by SaveModel and validates its shape
+// against the expected input/output dimensions (pass 0 to skip a check).
+func LoadModel(path string, wantIn, wantOut int) (*nn.MLP, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m nn.MLP
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("core: parsing %s: %w", path, err)
+	}
+	if wantIn > 0 && m.InputDim() != wantIn {
+		return nil, fmt.Errorf("core: %s: input dim %d, want %d", path, m.InputDim(), wantIn)
+	}
+	if wantOut > 0 && m.OutputDim() != wantOut {
+		return nil, fmt.Errorf("core: %s: output dim %d, want %d", path, m.OutputDim(), wantOut)
+	}
+	return &m, nil
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m := nn.NewMLP(nn.PaperTopology(21, 8), 5)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveModel(m, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(path, 21, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 21)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	a, b := m.Predict(x), back.Predict(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output %d differs after round trip", i)
+		}
+	}
+}
+
+func TestLoadModelValidatesShape(t *testing.T) {
+	m := nn.NewMLP([]int{4, 8, 2}, 1)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveModel(m, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(path, 21, 2); err == nil {
+		t.Error("wrong input dim accepted")
+	}
+	if _, err := LoadModel(path, 4, 8); err == nil {
+		t.Error("wrong output dim accepted")
+	}
+	if _, err := LoadModel(path, 0, 0); err != nil {
+		t.Errorf("skip-check load failed: %v", err)
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "missing.json"), 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(bad, 0, 0); err == nil {
+		t.Error("malformed file accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/npu"
+	"repro/internal/perf"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The sensor-noise robustness tests check that TOP-IL degrades gracefully
+// when the thermal sensor is noisy: the policy never reads the sensor
+// directly (its features are counters and frequencies), so noise must not
+// destabilize it. The RL baseline's reward, in contrast, depends on the
+// sensor — one reason the paper argues IL is more robust at run time.
+
+func TestTOPILRobustToSensorNoise(t *testing.T) {
+	m, _ := trainedModel(t)
+	run := func(noise float64) *sim.Result {
+		cfg := sim.DefaultConfig(true, 25)
+		cfg.SensorNoise = noise
+		cfg.Seed = 3
+		e := sim.New(cfg)
+		pm := perf.Default()
+		for _, name := range []string{"adi", "seidel-2d"} {
+			spec, _ := workload.ByName(name)
+			spec.TotalInstr = 1e18
+			e.AddJob(workload.Job{Spec: spec, QoS: 0.3 * pm.PeakIPS(cfg.Platform, spec)})
+		}
+		mgr := New(npu.New(m), DefaultConfig())
+		return e.Run(mgr, 60)
+	}
+	clean := run(0)
+	noisy := run(1.0) // ±1 °C sensor noise
+	if noisy.Violations > clean.Violations {
+		t.Errorf("sensor noise caused QoS violations: %d vs %d",
+			noisy.Violations, clean.Violations)
+	}
+	if noisy.Migrations > clean.Migrations+4 {
+		t.Errorf("sensor noise destabilized migration: %d vs %d",
+			noisy.Migrations, clean.Migrations)
+	}
+}
+
+func TestDVFSLoopRobustToCounterTransients(t *testing.T) {
+	// A workload with strong phases produces abrupt windowed-IPS changes;
+	// the one-step loop must neither oscillate wildly nor starve the app.
+	cfg := sim.DefaultConfig(true, 25)
+	e := sim.New(cfg)
+	spec, _ := workload.ByName("dedup") // alternating memory/compute phases
+	spec.TotalInstr = 1e18
+	pm := perf.Default()
+	// A target comfortably below the worst phase on big.
+	target := 0.5 * pm.IPS(spec.Phases[0], platform.Big, 682e6, 1)
+	e.AddJob(workload.Job{Spec: spec, QoS: target})
+	mgr := &dvfsOnly{pin: 6}
+	res := e.Run(mgr, 30)
+	if res.Violations != 0 {
+		t.Errorf("phased app violated easy target: mean %g < %g",
+			res.Apps[0].MeanIPS, target)
+	}
+}
+
+func TestTOPILSurvivesAbruptLoadSpike(t *testing.T) {
+	// Six applications arriving within one second: placement plus
+	// migration must keep every core at most single-occupancy when free
+	// cores exist, and the DVFS loop must recover QoS.
+	m, _ := trainedModel(t)
+	cfg := sim.DefaultConfig(true, 25)
+	e := sim.New(cfg)
+	pm := perf.Default()
+	names := []string{"adi", "seidel-2d", "syr2k", "heat-3d", "fdtd-2d", "gramschmidt"}
+	for i, name := range names {
+		spec, _ := workload.ByName(name)
+		spec.TotalInstr = 1e18
+		e.AddJob(workload.Job{
+			Spec:    spec,
+			QoS:     0.25 * pm.PeakIPS(cfg.Platform, spec),
+			Arrival: float64(i) * 0.15,
+		})
+	}
+	mgr := New(npu.New(m), DefaultConfig())
+	res := e.Run(mgr, 60)
+	occ := map[int]int{}
+	for _, a := range e.Env().Apps() {
+		occ[int(a.Core)]++
+	}
+	for c, n := range occ {
+		if n > 1 {
+			t.Errorf("core %d hosts %d apps despite free cores", c, n)
+		}
+	}
+	if res.Violations > 1 {
+		t.Errorf("load spike: %d violations", res.Violations)
+	}
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/npu"
+	"repro/internal/oracle"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AblationResult compares a design choice against the paper's default.
+type AblationResult struct {
+	Name     string
+	Default  map[string]float64
+	Variant  map[string]float64
+	Comment  string
+	MetricFn string // what the values mean
+}
+
+// Render prints the comparison.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation — " + r.Name + " (" + r.MetricFn + ")\n")
+	t := stats.NewTable("metric", "paper default", "variant")
+	keys := make([]string, 0, len(r.Default))
+	for k := range r.Default {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		t.AddRow(k, fmt.Sprintf("%.3f", r.Default[k]), fmt.Sprintf("%.3f", r.Variant[k]))
+	}
+	b.WriteString(t.String())
+	if r.Comment != "" {
+		b.WriteString(r.Comment + "\n")
+	}
+	return b.String()
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// AblationSoftLabels retrains the model with hard one-hot labels instead of
+// the paper's soft labels (Eq. 4) and compares model quality. Soft labels
+// teach the model that near-optimal mappings are acceptable, which
+// stabilizes choices among thermally equivalent cores.
+func (p *Pipeline) AblationSoftLabels() (*AblationResult, error) {
+	d, err := p.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	hard := &oracle.Dataset{NumCores: d.NumCores}
+	for _, e := range d.Examples {
+		h := e
+		h.Labels = append([]float64(nil), e.Labels...)
+		for c, l := range e.Labels {
+			switch {
+			case l == -1 || l == 0:
+				// keep sentinel semantics
+			case e.Temps[c] != oracle.NotApplicable && e.Temps[c] == e.OptTemp:
+				h.Labels[c] = 1
+			default:
+				h.Labels[c] = 0
+			}
+		}
+		hard.Examples = append(hard.Examples, h)
+	}
+	return p.compareDatasets("soft vs hard labels", d, hard,
+		"soft labels rate near-optimal mappings > 0; hard labels one-hot the optimum")
+}
+
+// AblationFreqFeatures retrains with the per-cluster background-requirement
+// features (f̃_{x\AoI}/f_x) zeroed out, quantifying the value of the
+// paper's feature group (c).
+func (p *Pipeline) AblationFreqFeatures() (*AblationResult, error) {
+	d, err := p.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	nc := p.plat.NumCores()
+	ratioOff := 3 + nc - 1 // index of first ratio feature is 2+nc+1
+	_ = ratioOff
+	stripped := &oracle.Dataset{NumCores: d.NumCores}
+	first := 2 + nc + 1 // q, l2d, one-hot(nc), target → ratios start here
+	for _, e := range d.Examples {
+		s := e
+		s.Features = append([]float64(nil), e.Features...)
+		for ci := 0; ci < p.plat.NumClusters(); ci++ {
+			s.Features[first+ci] = 0
+		}
+		stripped.Examples = append(stripped.Examples, s)
+	}
+	return p.compareDatasets("frequency-requirement features", d, stripped,
+		"variant zeroes the f̃_{x\\AoI}/f_x features of Table 2 group (c)")
+}
+
+// AblationMappingFeatures retrains with the AoI's current-mapping one-hot
+// zeroed, quantifying Table 2 group (a)'s claim that the current mapping
+// gives context to the performance-counter readings (the same IPS means
+// different things on a LITTLE core at low VF and a big core at high VF).
+func (p *Pipeline) AblationMappingFeatures() (*AblationResult, error) {
+	d, err := p.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	nc := p.plat.NumCores()
+	stripped := &oracle.Dataset{NumCores: d.NumCores}
+	for _, e := range d.Examples {
+		s := e
+		s.Features = append([]float64(nil), e.Features...)
+		for c := 0; c < nc; c++ {
+			s.Features[2+c] = 0
+		}
+		stripped.Examples = append(stripped.Examples, s)
+	}
+	return p.compareDatasets("current-mapping features", d, stripped,
+		"variant zeroes the AoI current-mapping one-hot of Table 2 group (a)")
+}
+
+// compareDatasets trains one model per dataset (same seed/topology) and
+// compares the model-quality metrics on each dataset's own split.
+func (p *Pipeline) compareDatasets(name string, def, variant *oracle.Dataset,
+	comment string) (*AblationResult, error) {
+	topo := nn.PaperTopology(features.Dim(p.plat.NumCores(), p.plat.NumClusters()),
+		p.plat.NumCores())
+	eval := func(d *oracle.Dataset) (map[string]float64, error) {
+		m, _, err := core.TrainModel(d, topo, p.Scale.Seeds[0], p.Scale.TrainCfg)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := core.EvaluateModel(m, d)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"within 1°C":  ev.WithinOneC,
+			"mean excess": ev.MeanExcess,
+			"infeasible":  ev.InfeasibleFrac,
+		}, nil
+	}
+	dm, err := eval(def)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := eval(variant)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{
+		Name: name, Default: dm, Variant: vm,
+		Comment:  comment,
+		MetricFn: "mapping quality on the oracle dataset",
+	}, nil
+}
+
+// AblationDVFSStep compares the paper's one-step DVFS adjustment against
+// jump-to-target on a dynamic mixed workload: jumping acts on inaccurate
+// linear-scaling estimates.
+func (p *Pipeline) AblationDVFSStep() (*AblationResult, error) {
+	models, err := p.Models()
+	if err != nil {
+		return nil, err
+	}
+	run := func(jump bool) (map[string]float64, error) {
+		cfg := core.DefaultConfig()
+		cfg.DVFSJump = jump
+		mgr := core.New(npu.New(models[0]), cfg)
+		e := p.newEngine(true, 1)
+		gen := workload.NewGenerator(101, workload.MixedPool(), p.PeakIPS,
+			0.2, 0.7, p.Scale.InstrScale)
+		e.AddJobs(gen.Generate(p.Scale.MixedJobs, p.Scale.ArrivalRates[0]))
+		r := e.Run(mgr, p.Scale.RunCap)
+		return map[string]float64{
+			"avg temp":   r.AvgTemp,
+			"violations": float64(r.Violations),
+			"migrations": float64(r.Migrations),
+		}, nil
+	}
+	dm, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{
+		Name: "DVFS one-step vs jump-to-target", Default: dm, Variant: vm,
+		Comment:  "variant jumps directly to the Eq.-(1) estimate each 50 ms",
+		MetricFn: "mixed-workload outcome",
+	}, nil
+}

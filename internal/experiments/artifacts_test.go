@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// miniScale returns a deliberately tiny scale for artifact-cache tests.
+func miniScale() Scale {
+	s := QuickScale()
+	s.OracleScenarios = 1
+	s.OracleCfg.LevelGrid = []int{0, 8}
+	s.OracleCfg.WarmupSec = 4
+	s.OracleCfg.MeasureSec = 2
+	s.OracleCfg.QoSFracs = []float64{0.3, 0.6}
+	s.Seeds = []int64{1}
+	s.TrainCfg.MaxEpochs = 5
+	s.TrainCfg.Patience = 3
+	s.RLPretrain.DurationSec = 20
+	s.RLPretrain.NumJobs = 4
+	return s
+}
+
+func TestArtifactsCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	build := NewPipeline(miniScale())
+	build.ArtifactsDir = dir
+	d1, err := build.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := build.Models(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := build.QTables(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"dataset.json.gz", "model-1.json", "qtable-1.json.gz"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("artifact %s not persisted: %v", name, err)
+		}
+	}
+
+	// A fresh pipeline must reuse everything without rebuilding.
+	reuse := NewPipeline(miniScale())
+	reuse.ArtifactsDir = dir
+	var msgs []string
+	reuse.Progress = func(m string) { msgs = append(msgs, m) }
+	d2, err := reuse.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != d1.Len() {
+		t.Fatalf("cached dataset size %d, want %d", d2.Len(), d1.Len())
+	}
+	if _, err := reuse.Models(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reuse.QTables(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs {
+		if contains(m, "collecting traces") || contains(m, "training IL model") ||
+			contains(m, "pretraining RL policy") {
+			t.Fatalf("cache miss despite artifacts: %q", m)
+		}
+	}
+}
+
+func TestArtifactsCorruptFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "dataset.json.gz"), []byte("junk"), 0o644)
+	p := NewPipeline(miniScale())
+	p.ArtifactsDir = dir
+	d, err := p.Dataset()
+	if err != nil {
+		t.Fatalf("corrupt cache not bypassed: %v", err)
+	}
+	if d.Len() == 0 {
+		t.Fatal("rebuild produced empty dataset")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// CSV exporters: every figure's data in machine-readable long form, for
+// users who want to re-plot the evaluation with their own tooling.
+// cmd/topil-experiments -csvdir writes one file per experiment.
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// WriteCSV emits one row per (technique, arrival rate).
+func (r *Fig8Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"technique", "arrival_rate", "fan",
+		"avg_temp_mean", "avg_temp_std", "peak_temp_mean", "violations_mean",
+		"violations_std", "avg_util", "throttle_s"}); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		if err := cw.Write([]string{c.Technique, fmtF(c.ArrivalRate),
+			strconv.FormatBool(r.Fan), fmtF(c.AvgTemp.Mean), fmtF(c.AvgTemp.Std),
+			fmtF(c.PeakTemp.Mean), fmtF(c.Violations.Mean), fmtF(c.Violations.Std),
+			fmtF(c.AvgUtil.Mean), fmtF(c.ThrottleSec.Mean)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig10CSV emits one row per (technique, cluster, VF level).
+func (r *Fig8Result) WriteFig10CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"technique", "cluster", "level", "cpu_seconds"}); err != nil {
+		return err
+	}
+	for _, tech := range Techniques() {
+		ct, ok := r.CPUTime[tech]
+		if !ok {
+			continue
+		}
+		for ci, levels := range ct {
+			for li, v := range levels {
+				if err := cw.Write([]string{tech, strconv.Itoa(ci),
+					strconv.Itoa(li), fmtF(v)}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits one row per (application, technique).
+func (r *Fig11Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "technique", "avg_temp_mean",
+		"avg_temp_std", "violating_runs", "runs"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{row.App, row.Technique,
+			fmtF(row.AvgTemp.Mean), fmtF(row.AvgTemp.Std),
+			strconv.Itoa(row.Violations), strconv.Itoa(row.Runs)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits one row per application count.
+func (r *Fig12Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"apps", "dvfs_ms_per_s", "migration_ms_per_s",
+		"dvfs_ms_per_call", "migration_ms_per_call_npu",
+		"migration_ms_per_call_cpu"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{strconv.Itoa(row.Apps),
+			fmtF(row.DVFSMsPerSec), fmtF(row.MigrationMsPerSec),
+			fmtF(row.DVFSMsPerCall), fmtF(row.MigrationMsPerCall),
+			fmtF(row.CPUMigrationMsPerCall)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits one row per (technique, epoch sample) of the mapping
+// traces (1 = big cluster, 0 = LITTLE).
+func (r *Fig7Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "technique", "epoch", "on_big"}); err != nil {
+		return err
+	}
+	for _, tr := range r.Traces {
+		for i, onBig := range tr.OnBig {
+			v := "0"
+			if onBig {
+				v = "1"
+			}
+			if err := cw.Write([]string{tr.App, tr.Technique,
+				strconv.Itoa(i), v}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits one row per technique.
+func (r *EnergyResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"technique", "rate", "total_j", "little_j",
+		"big_j", "avg_temp", "violations", "makespan_s"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{row.Technique, fmtF(r.Rate),
+			fmtF(row.TotalJ.Mean), fmtF(row.LittleJ.Mean), fmtF(row.BigJ.Mean),
+			fmtF(row.AvgTemp.Mean), fmtF(row.Violations.Mean),
+			fmtF(row.Makespan.Mean)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig1Row is one bar of the paper's Fig. 1: an application, a scenario, a
+// mapping, the minimum VF levels that satisfy all QoS targets, and the
+// resulting temperature.
+type Fig1Row struct {
+	App      string
+	Scenario int // 1 = alone, 2 = with peak-VF background
+	Mapping  string
+	FLittle  float64 // Hz
+	FBig     float64 // Hz
+	AvgTemp  float64 // °C over the settled window
+}
+
+// Fig1Result reproduces the motivational example.
+type Fig1Result struct {
+	Rows []Fig1Row
+}
+
+// Optimal returns the mapping with the lowest temperature for (app,
+// scenario).
+func (r *Fig1Result) Optimal(app string, scenario int) string {
+	best, bestT := "", 0.0
+	for _, row := range r.Rows {
+		if row.App != app || row.Scenario != scenario {
+			continue
+		}
+		if best == "" || row.AvgTemp < bestT {
+			best, bestT = row.Mapping, row.AvgTemp
+		}
+	}
+	return best
+}
+
+// Render prints the figure's data.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 1 — motivational example (QoS = 30% of big-peak IPS)\n")
+	t := stats.NewTable("app", "scenario", "mapping", "f_LITTLE", "f_big", "temp")
+	for _, row := range r.Rows {
+		t.AddRow(row.App, fmt.Sprint(row.Scenario), row.Mapping,
+			fmt.Sprintf("%.1f GHz", row.FLittle/1e9),
+			fmt.Sprintf("%.1f GHz", row.FBig/1e9),
+			fmt.Sprintf("%.1f °C", row.AvgTemp))
+	}
+	b.WriteString(t.String())
+	for _, app := range []string{"adi", "seidel-2d"} {
+		b.WriteString(fmt.Sprintf("scenario 1 optimal mapping for %s: %s\n",
+			app, r.Optimal(app, 1)))
+	}
+	b.WriteString(fmt.Sprintf("scenario 2 optimal mapping for adi: %s\n", r.Optimal("adi", 2)))
+	return b.String()
+}
+
+// fig1Pin pins the AoI and background to fixed cores and the clusters to
+// fixed VF levels.
+type fig1Pin struct {
+	env        *sim.Env
+	little     int
+	big        int
+	placements []platform.CoreID
+	next       int
+}
+
+func (m *fig1Pin) Name() string        { return "fig1-pin" }
+func (m *fig1Pin) Attach(env *sim.Env) { m.env = env }
+func (m *fig1Pin) Tick(now float64) {
+	m.env.SetClusterFreqIndex(0, m.little)
+	m.env.SetClusterFreqIndex(1, m.big)
+}
+func (m *fig1Pin) Place(j workload.Job) platform.CoreID {
+	c := m.placements[m.next]
+	m.next++
+	return c
+}
+
+// Fig1Motivational reproduces the paper's Fig. 1. Scenario 1 runs each
+// application alone at the minimum VF level meeting a QoS target of 30 % of
+// its big-cluster peak IPS, mapped to either cluster. Scenario 2 adds
+// background applications whose QoS targets force both clusters to the peak
+// VF level.
+func (p *Pipeline) Fig1Motivational() (*Fig1Result, error) {
+	res := &Fig1Result{}
+	little, _ := p.plat.ClusterByKind(platform.Little)
+	big, _ := p.plat.ClusterByKind(platform.Big)
+	littleFreqs := freqsOf(little)
+	bigFreqs := freqsOf(big)
+
+	settle := 120.0
+	if p.Scale.Name == "quick" {
+		settle = 30
+	}
+
+	for _, name := range []string{"adi", "seidel-2d"} {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+		}
+		spec.TotalInstr = 1e18
+		target := 0.3 * p.PeakIPS(spec)
+		ph := spec.Phases[0]
+
+		// Scenario 1: alone. The idle cluster stays at its lowest level.
+		fl, okL := p.perf.MinFreqFor(ph, platform.Little, littleFreqs, 1, target)
+		fb, okB := p.perf.MinFreqFor(ph, platform.Big, bigFreqs, 1, target)
+		if !okL || !okB {
+			return nil, fmt.Errorf("experiments: %s cannot meet 30%% QoS", name)
+		}
+		type mapping struct {
+			label  string
+			core   platform.CoreID
+			li, bi int
+		}
+		maps := []mapping{
+			{"LITTLE", 1, little.IndexOf(fl), 0},
+			{"big", 5, 0, big.IndexOf(fb)},
+		}
+		for _, mp := range maps {
+			e := p.newEngine(true, 0)
+			e.AddJob(workload.Job{Spec: spec, QoS: target})
+			mgr := &fig1Pin{little: mp.li, big: mp.bi,
+				placements: []platform.CoreID{mp.core}}
+			r := e.Run(mgr, settle)
+			res.Rows = append(res.Rows, Fig1Row{
+				App: name, Scenario: 1, Mapping: mp.label,
+				FLittle: little.FreqAt(mp.li), FBig: big.FreqAt(mp.bi),
+				AvgTemp: r.AvgTemp,
+			})
+		}
+	}
+
+	// Scenario 2: adi plus background demanding peak VF on both clusters.
+	spec, _ := workload.ByName("adi")
+	spec.TotalInstr = 1e18
+	target := 0.3 * p.PeakIPS(spec)
+	bgSpec, _ := workload.ByName("syr2k")
+	bgSpec.TotalInstr = 1e18
+	for _, mp := range []struct {
+		label string
+		core  platform.CoreID
+	}{{"LITTLE", 1}, {"big", 5}} {
+		e := p.newEngine(true, 0)
+		// Background on cores 0 (LITTLE) and 6,7 (big); per-cluster DVFS
+		// forces everything to the peak levels.
+		for range []int{0, 1, 2} {
+			e.AddJob(workload.Job{Spec: bgSpec, QoS: 0})
+		}
+		e.AddJob(workload.Job{Spec: spec, QoS: target})
+		mgr := &fig1Pin{little: little.NumOPPs() - 1, big: big.NumOPPs() - 1,
+			placements: []platform.CoreID{0, 6, 7, mp.core}}
+		r := e.Run(mgr, settle)
+		res.Rows = append(res.Rows, Fig1Row{
+			App: "adi", Scenario: 2, Mapping: mp.label,
+			FLittle: little.MaxFreq(), FBig: big.MaxFreq(),
+			AvgTemp: r.AvgTemp,
+		})
+	}
+	return res, nil
+}
+
+func freqsOf(c *platform.Cluster) []float64 {
+	out := make([]float64, c.NumOPPs())
+	for i := range out {
+		out[i] = c.FreqAt(i)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/stats"
+)
+
+// Fig3Result is the NAS grid search of the paper's Fig. 3 (validation loss
+// per topology; the paper selects 4 hidden layers × 64 neurons).
+type Fig3Result struct {
+	NAS  nn.NASResult
+	Dims struct{ Depths, Widths []int }
+}
+
+// Render prints the loss grid.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 3 — NAS grid search (validation MSE per topology)\n")
+	header := []string{"depth\\width"}
+	for _, w := range r.Dims.Widths {
+		header = append(header, fmt.Sprint(w))
+	}
+	t := stats.NewTable(header...)
+	for _, d := range r.Dims.Depths {
+		row := []string{fmt.Sprint(d)}
+		for _, w := range r.Dims.Widths {
+			for _, c := range r.NAS.Candidates {
+				if c.Depth == d && c.Width == w {
+					row = append(row, fmt.Sprintf("%.4f", c.ValLoss))
+				}
+			}
+		}
+		t.AddRow(row...)
+	}
+	b.WriteString(t.String())
+	b.WriteString(fmt.Sprintf("best: %d hidden layers × %d neurons (val loss %.4f, %d params)\n",
+		r.NAS.Best.Depth, r.NAS.Best.Width, r.NAS.Best.ValLoss, r.NAS.Best.Params))
+	return b.String()
+}
+
+// Fig3GridSearch reproduces the topology grid search on the oracle dataset.
+func (p *Pipeline) Fig3GridSearch() (*Fig3Result, error) {
+	d, err := p.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	depths := []int{1, 2, 3, 4, 6}
+	widths := []int{8, 16, 32, 64, 128}
+	// The grid search compares topologies under an equal, reduced budget;
+	// only the winning topology is trained to convergence afterwards.
+	cfg := p.Scale.TrainCfg
+	cfg.MaxEpochs = 60
+	cfg.Patience = 15
+	if p.Scale.Name == "quick" {
+		depths = []int{1, 2, 4}
+		widths = []int{16, 64}
+		cfg.MaxEpochs = 40
+		cfg.Patience = 10
+	}
+	nnd := d.ToNN()
+	train, val := nnd.Split(0.2, 7)
+	inDim := features.Dim(p.plat.NumCores(), p.plat.NumClusters())
+	res, err := nn.GridSearch(train, val, inDim, p.plat.NumCores(),
+		depths, widths, cfg, 7)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig3Result{NAS: res}
+	out.Dims.Depths = depths
+	out.Dims.Widths = widths
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig5Row is one application's worst-case migration overhead.
+type Fig5Row struct {
+	App      string
+	Overhead float64 // relative (0.04 = 4 %)
+}
+
+// Fig5Result reproduces the paper's Fig. 5: the overhead of periodically
+// migrating an application between the clusters every migration epoch
+// (500 ms) — the worst case a migration policy can inflict.
+type Fig5Result struct {
+	Rows    []Fig5Row
+	Average float64
+	Maximum float64
+}
+
+// Render prints the per-application overheads.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 5 — worst-case migration overhead (big↔LITTLE each 500 ms)\n")
+	t := stats.NewTable("app", "overhead")
+	for _, row := range r.Rows {
+		t.AddRow(row.App, fmt.Sprintf("%+.2f %%", row.Overhead*100))
+	}
+	b.WriteString(t.String())
+	b.WriteString(fmt.Sprintf("average %.2f %%, maximum %.2f %%\n",
+		r.Average*100, r.Maximum*100))
+	return b.String()
+}
+
+// pingPong migrates the single application between two cores every epoch.
+type pingPong struct {
+	env    *sim.Env
+	a, b   platform.CoreID
+	epoch  float64
+	next   float64
+	toggle bool
+}
+
+func (m *pingPong) Name() string { return "ping-pong" }
+
+// Attach starts the toggle on the away cluster so the application spends
+// exactly half its time on each cluster (the overhead formula assumes a
+// symmetric split).
+func (m *pingPong) Attach(env *sim.Env) { m.env = env; m.toggle = true; m.next = m.epoch }
+func (m *pingPong) Tick(now float64) {
+	m.env.SetClusterFreqIndex(0, 8)
+	m.env.SetClusterFreqIndex(1, 8)
+	if now < m.next-1e-9 {
+		return
+	}
+	m.next = now + m.epoch
+	apps := m.env.Apps()
+	if len(apps) == 0 {
+		return
+	}
+	target := m.a
+	if m.toggle {
+		target = m.b
+	}
+	m.toggle = !m.toggle
+	_ = m.env.Migrate(apps[0].ID, target)
+}
+func (m *pingPong) Place(j workload.Job) platform.CoreID { return m.a }
+
+// Fig5MigrationOverhead measures, per application, the performance loss of
+// epoch-periodic cluster ping-pong relative to the average of the two
+// static mappings (the paper's Eq. for m).
+func (p *Pipeline) Fig5MigrationOverhead() (*Fig5Result, error) {
+	apps := append(append([]string{}, workload.UnseenSet()...), "adi", "seidel-2d")
+	sort.Strings(apps)
+
+	dur := 60.0
+	if p.Scale.Name == "quick" {
+		dur = 15
+	}
+
+	meanIPS := func(name string, mgr sim.Manager) (float64, error) {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			return 0, fmt.Errorf("experiments: unknown benchmark %q", name)
+		}
+		spec.TotalInstr = 1e18
+		e := p.newEngine(true, 0)
+		e.AddJob(workload.Job{Spec: spec, QoS: 0})
+		r := e.Run(mgr, dur)
+		return r.Apps[0].MeanIPS, nil
+	}
+
+	res := &Fig5Result{}
+	var sum float64
+	for _, name := range apps {
+		big, err := meanIPS(name, &fig1Pin{little: 8, big: 8,
+			placements: []platform.CoreID{5}})
+		if err != nil {
+			return nil, err
+		}
+		little, err := meanIPS(name, &fig1Pin{little: 8, big: 8,
+			placements: []platform.CoreID{1}})
+		if err != nil {
+			return nil, err
+		}
+		mig, err := meanIPS(name, &pingPong{a: 1, b: 5, epoch: 0.5})
+		if err != nil {
+			return nil, err
+		}
+		// m = (avg of the two static rates) / migrated rate − 1, using
+		// instruction rates as the inverse execution times.
+		m := 0.5*(big+little)/mig - 1
+		res.Rows = append(res.Rows, Fig5Row{App: name, Overhead: m})
+		sum += m
+		if m > res.Maximum {
+			res.Maximum = m
+		}
+	}
+	res.Average = sum / float64(len(res.Rows))
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"repro/internal/stats"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Fig7Trace is the mapping trace of one application under one technique.
+type Fig7Trace struct {
+	App       string
+	Technique string
+	// OnBig[i] reports whether the application sat on the big cluster at
+	// epoch i (sampled every 500 ms).
+	OnBig []bool
+	// OptimalBig is the oracle-optimal cluster for this application.
+	OptimalBig  bool
+	OptimalFrac float64 // fraction of epochs on the optimal cluster
+	Migrations  int
+	AvgTemp     float64
+	QoSMet      bool
+}
+
+// Fig7Result reproduces the illustrative IL-vs-RL comparison: TOP-IL holds
+// the optimal mapping; TOP-RL follows the trend but keeps deviating.
+type Fig7Result struct {
+	Traces []Fig7Trace
+}
+
+// Render prints per-trace summaries with a sparkline of the selected
+// cluster over time (high = big, low = LITTLE) — the shape of the paper's
+// time-resolved mapping plots.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 7 — illustrative example: mapping stability of IL vs RL\n")
+	for _, tr := range r.Traces {
+		opt := "LITTLE"
+		if tr.OptimalBig {
+			opt = "big"
+		}
+		b.WriteString(fmt.Sprintf(
+			"%-10s %-7s optimal=%-6s on-optimal=%5.1f%%  migrations=%-3d avgT=%.1f°C qosMet=%v\n",
+			tr.App, tr.Technique, opt, tr.OptimalFrac*100, tr.Migrations,
+			tr.AvgTemp, tr.QoSMet))
+		b.WriteString("  cluster over time: " + stats.Sparkline(tr.clusterSeries()) + "\n")
+	}
+	return b.String()
+}
+
+// clusterSeries encodes the mapping trace numerically (1 = big, 0 = LITTLE)
+// downsampled to at most 80 points for rendering.
+func (tr Fig7Trace) clusterSeries() []float64 {
+	if len(tr.OnBig) == 0 {
+		return nil
+	}
+	stride := (len(tr.OnBig) + 79) / 80
+	var out []float64
+	for i := 0; i < len(tr.OnBig); i += stride {
+		v := 0.0
+		if tr.OnBig[i] {
+			v = 1
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Fig7Illustrative runs adi (big-optimal) and seidel-2d (LITTLE-optimal),
+// each alone with a 30 % QoS target, under TOP-IL and TOP-RL, and records
+// the selected cluster over time.
+func (p *Pipeline) Fig7Illustrative() (*Fig7Result, error) {
+	dur := 120.0
+	if p.Scale.Name == "quick" {
+		dur = 40
+	}
+	cases := []struct {
+		app        string
+		optimalBig bool
+	}{
+		{"adi", true},
+		{"seidel-2d", false},
+	}
+	res := &Fig7Result{}
+	for _, c := range cases {
+		for _, tech := range []string{"TOP-IL", "TOP-RL"} {
+			spec, ok := workload.ByName(c.app)
+			if !ok {
+				return nil, fmt.Errorf("experiments: unknown benchmark %q", c.app)
+			}
+			spec.TotalInstr = 1e18
+			target := 0.3 * p.PeakIPS(spec)
+
+			mgr, err := p.Manager(tech, 0)
+			if err != nil {
+				return nil, err
+			}
+			e := p.newEngine(true, 0)
+			e.AddJob(workload.Job{Spec: spec, QoS: target})
+
+			tr := Fig7Trace{App: c.app, Technique: tech, OptimalBig: c.optimalBig}
+			onOpt := 0
+			next := 0.5
+			sample := func() bool {
+				if e.Now() < next-1e-9 {
+					return false
+				}
+				next += 0.5
+				apps := e.Env().Apps()
+				if len(apps) == 0 {
+					return false
+				}
+				onBig := p.plat.KindOf(apps[0].Core) == platform.Big
+				tr.OnBig = append(tr.OnBig, onBig)
+				if onBig == c.optimalBig {
+					onOpt++
+				}
+				return false
+			}
+			r := e.RunUntil(mgr, dur, sample)
+			tr.Migrations = r.Migrations
+			tr.QoSMet = r.Violations == 0
+			tr.AvgTemp = r.AvgTemp
+			if len(tr.OnBig) > 0 {
+				tr.OptimalFrac = float64(onOpt) / float64(len(tr.OnBig))
+			}
+			res.Traces = append(res.Traces, tr)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig11Row aggregates one (application, technique) pair over the seeds.
+type Fig11Row struct {
+	App        string
+	Technique  string
+	AvgTemp    stats.Summary
+	Violations int // executions (out of len(seeds)) violating QoS
+	Runs       int
+}
+
+// Fig11Result is the single-application experiment on entirely unseen
+// applications: QoS targets are reachable at the LITTLE cluster's top VF
+// level; only TOP-IL should combine low temperature with zero violations.
+type Fig11Result struct {
+	Rows []Fig11Row
+}
+
+// TotalViolations sums violating executions for one technique.
+func (r *Fig11Result) TotalViolations(technique string) (violations, runs int) {
+	for _, row := range r.Rows {
+		if row.Technique == technique {
+			violations += row.Violations
+			runs += row.Runs
+		}
+	}
+	return violations, runs
+}
+
+// MeanTempOf averages one technique's temperature over all applications.
+func (r *Fig11Result) MeanTempOf(technique string) float64 {
+	var xs []float64
+	for _, row := range r.Rows {
+		if row.Technique == technique {
+			xs = append(xs, row.AvgTemp.Mean)
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// Render prints the per-application table and the per-technique summary.
+func (r *Fig11Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 11 — single unseen applications (QoS reachable on LITTLE@max)\n")
+	t := stats.NewTable("app", "technique", "avg temp", "violating runs")
+	for _, row := range r.Rows {
+		t.AddRow(row.App, row.Technique, row.AvgTemp.String(),
+			fmt.Sprintf("%d/%d", row.Violations, row.Runs))
+	}
+	b.WriteString(t.String())
+	for _, tech := range Techniques() {
+		v, n := r.TotalViolations(tech)
+		b.WriteString(fmt.Sprintf("%-14s mean temp %.1f °C, violations %d/%d\n",
+			tech, r.MeanTempOf(tech), v, n))
+	}
+	return b.String()
+}
+
+// Fig11SingleApp runs every unseen (PARSEC-like) application alone under
+// each technique, repeated once per seed.
+func (p *Pipeline) Fig11SingleApp() (*Fig11Result, error) {
+	dur := 240.0
+	if p.Scale.Name == "quick" {
+		dur = 60
+	}
+	res := &Fig11Result{}
+	for _, name := range workload.UnseenSet() {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+		}
+		spec.TotalInstr = 1e18
+		// Reachable at the LITTLE cluster's top VF level: 90 % of the
+		// application's phase-weighted mean IPS there — enough slack to
+		// be feasible in every phase, tight enough that the big cluster's
+		// lowest OPP falls short for compute-bound applications.
+		target := 0.90 * p.littleMaxMeanIPS(spec)
+
+		for _, tech := range Techniques() {
+			var temps []float64
+			viol := 0
+			for si := range p.Scale.Seeds {
+				mgr, err := p.Manager(tech, si)
+				if err != nil {
+					return nil, err
+				}
+				e := p.newEngine(true, p.Scale.Seeds[si])
+				e.AddJob(workload.Job{Spec: spec, QoS: target})
+				r := e.Run(mgr, dur)
+				temps = append(temps, r.AvgTemp)
+				if r.Violations > 0 {
+					viol++
+				}
+			}
+			res.Rows = append(res.Rows, Fig11Row{
+				App: name, Technique: tech,
+				AvgTemp:    stats.Summarize(temps),
+				Violations: viol,
+				Runs:       len(p.Scale.Seeds),
+			})
+		}
+		p.progress("fig11 %s done", name)
+	}
+	return res, nil
+}
+
+// littleMaxMeanIPS returns the application's mean IPS over one full phase
+// cycle, alone on a LITTLE core at the top VF level: total instructions
+// divided by total execution time. A QoS target below this is achievable on
+// LITTLE over a whole execution.
+func (p *Pipeline) littleMaxMeanIPS(spec workload.AppSpec) float64 {
+	little := p.plat.Clusters[0]
+	instr, seconds := 0.0, 0.0
+	for _, ph := range spec.Phases {
+		w := ph.Instr
+		if w == 0 { // single-phase spec
+			w = 1
+		}
+		instr += w
+		seconds += w * p.perf.TimePerInstr(ph, little.Kind, little.MaxFreq())
+	}
+	return instr / seconds
+}

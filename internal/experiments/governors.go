@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/governor"
+	"repro/internal/sim"
+)
+
+// governorManager builds the Linux baseline managers by name.
+func governorManager(technique string) (sim.Manager, error) {
+	switch technique {
+	case "GTS/ondemand":
+		return governor.NewGTS(governor.Ondemand{UpThreshold: 0.8}), nil
+	case "GTS/powersave":
+		return governor.NewGTS(governor.Powersave{}), nil
+	case "GTS/performance":
+		return governor.NewGTS(governor.Performance{}), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown technique %q", technique)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/oracle"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ModelEvalResult is the paper's model-in-isolation evaluation: train on
+// most benchmarks, test on held-out AoIs, across the seeds (the paper
+// reports 82±5 % of choices within 1 °C and 0.5±0.2 °C mean excess).
+type ModelEvalResult struct {
+	TestAoIs   []string
+	WithinOneC stats.Summary
+	MeanExcess stats.Summary
+	Infeasible stats.Summary
+	Examples   int
+}
+
+// Render prints the summary.
+func (r *ModelEvalResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Model evaluation — held-out AoIs: " + strings.Join(r.TestAoIs, ", ") + "\n")
+	b.WriteString(fmt.Sprintf("  test examples:        %d\n", r.Examples))
+	b.WriteString(fmt.Sprintf("  within 1°C of optimum: %.0f±%.0f %%\n",
+		r.WithinOneC.Mean*100, r.WithinOneC.Std*100))
+	b.WriteString(fmt.Sprintf("  mean excess:           %.2f±%.2f °C\n",
+		r.MeanExcess.Mean, r.MeanExcess.Std))
+	b.WriteString(fmt.Sprintf("  infeasible choices:    %.1f %%\n", r.Infeasible.Mean*100))
+	return b.String()
+}
+
+// ModelEvaluation splits the oracle dataset by AoI benchmark, trains one
+// model per seed on the training AoIs, and evaluates mapping quality on the
+// held-out AoIs. The held-out set contains trace data for benchmarks that
+// are excluded from every trained model.
+func (p *Pipeline) ModelEvaluation() (*ModelEvalResult, error) {
+	// The held-out AoIs also need oracle traces: extend the dataset with
+	// scenarios whose AoI is a held-out benchmark.
+	d, err := p.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	heldOut := workload.HeldOutSet()
+	testScns, err := p.heldOutScenarios(heldOut)
+	if err != nil {
+		return nil, err
+	}
+	testData, err := p.buildExtra(testScns)
+	if err != nil {
+		return nil, err
+	}
+
+	topo := nn.PaperTopology(features.Dim(p.plat.NumCores(), p.plat.NumClusters()),
+		p.plat.NumCores())
+	var within, excess, infeasible []float64
+	for _, seed := range p.Scale.Seeds {
+		m, _, err := core.TrainModel(d, topo, seed, p.Scale.TrainCfg)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := core.EvaluateModel(m, testData)
+		if err != nil {
+			return nil, err
+		}
+		within = append(within, ev.WithinOneC)
+		excess = append(excess, ev.MeanExcess)
+		infeasible = append(infeasible, ev.InfeasibleFrac)
+	}
+	return &ModelEvalResult{
+		TestAoIs:   heldOut,
+		WithinOneC: stats.Summarize(within),
+		MeanExcess: stats.Summarize(excess),
+		Infeasible: stats.Summarize(infeasible),
+		Examples:   testData.Len(),
+	}, nil
+}
+
+// heldOutScenarios builds evaluation scenarios whose AoIs are the held-out
+// benchmarks.
+func (p *Pipeline) heldOutScenarios(heldOut []string) ([]oracle.Scenario, error) {
+	canon, err := oracle.CanonicalScenarios(heldOut)
+	if err != nil {
+		return nil, err
+	}
+	n := p.Scale.OracleScenarios / 4
+	if n < 2 {
+		n = 2
+	}
+	rnd, err := oracle.RandomScenarios(n, heldOut, 77)
+	if err != nil {
+		return nil, err
+	}
+	return append(canon, rnd...), nil
+}
+
+// buildExtra collects traces and extracts examples for additional
+// scenarios outside the cached training dataset.
+func (p *Pipeline) buildExtra(scns []oracle.Scenario) (*oracle.Dataset, error) {
+	return oracle.BuildDataset(scns, p.Scale.OracleCfg, nil)
+}

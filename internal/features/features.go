@@ -1,0 +1,246 @@
+// Package features implements the feature vector of the paper's Table 2 —
+// the input of the IL migration model — and the frequency estimators of
+// Eqs. (1) and (2).
+//
+// Per application of interest (AoI), the 21 features (for 8 cores and 2
+// clusters) are:
+//
+//	(a) AoI characteristics: current QoS (IPS), L2D accesses per second,
+//	    current mapping as a one-hot over all cores;
+//	(b) the AoI's QoS target (IPS);
+//	(c) background: per-cluster estimated required VF level if the AoI
+//	    were not running, normalized by the cluster's current VF level,
+//	    and the per-core utilizations.
+//
+// The same code builds the vector at design time (from oracle traces, via a
+// Snapshot assembled by the oracle) and at run time (from the live Env), so
+// the model sees identical distributions in both.
+package features
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ipsScale normalizes IPS-valued features to roughly unit range.
+const ipsScale = 1e9
+
+// l2dScale normalizes the L2D-access-rate feature. L2D rates are an order
+// of magnitude below IPS; scaling them to unit range matters because this
+// feature carries the memory-boundedness signal that separates big-cluster-
+// friendly from LITTLE-friendly applications near QoS-feasibility
+// boundaries.
+const l2dScale = 1e8
+
+// ClusterState is the policy-visible state of one DVFS domain.
+type ClusterState struct {
+	Freqs []float64 // available frequencies, ascending (Hz)
+	Freq  float64   // current frequency (Hz)
+}
+
+// AppState is the policy-visible state of one running application.
+type AppState struct {
+	ID      sim.AppID
+	Core    int
+	Cluster int     // index into Snapshot.Clusters
+	IPS     float64 // current QoS (windowed IPS)
+	L2DPS   float64 // windowed L2D accesses per second
+	QoS     float64 // QoS target (IPS)
+}
+
+// Snapshot is a platform state sufficient to build feature vectors for
+// every running application.
+//
+// The core-utilization features are derived from Apps as *background*
+// occupancy — whether a core hosts any application other than the AoI. The
+// paper's training data defines them the same way (free cores read 0 even
+// while the AoI occupies one of them), so the run-time path must match.
+type Snapshot struct {
+	NumCores int
+	Clusters []ClusterState
+	Apps     []AppState
+}
+
+// FromEnv captures a Snapshot from the live simulation environment — the
+// run-time path of the paper's daemon (perf API + /proc + cpufreq).
+func FromEnv(env *sim.Env) Snapshot {
+	plat := env.Platform()
+	s := Snapshot{NumCores: plat.NumCores()}
+	for ci, c := range plat.Clusters {
+		freqs := make([]float64, c.NumOPPs())
+		for i := range freqs {
+			freqs[i] = c.FreqAt(i)
+		}
+		s.Clusters = append(s.Clusters, ClusterState{Freqs: freqs, Freq: env.ClusterFreq(ci)})
+	}
+	for _, a := range env.Apps() {
+		s.Apps = append(s.Apps, AppState{
+			ID:      a.ID,
+			Core:    int(a.Core),
+			Cluster: plat.ClusterIndexOf(a.Core),
+			IPS:     a.IPS,
+			L2DPS:   a.L2DPS,
+			QoS:     a.QoS,
+		})
+	}
+	return s
+}
+
+// Dim returns the feature vector length for a platform with the given core
+// and cluster counts: QoS, L2D, one-hot mapping, QoS target, per-cluster
+// frequency ratios, per-core utilizations.
+func Dim(numCores, numClusters int) int {
+	return 3 + 2*numCores + numClusters
+}
+
+// UtilOffset returns the index of the first core-utilization feature within
+// a vector built by Assemble/Vector.
+func UtilOffset(numCores, numClusters int) int {
+	return 3 + numCores + numClusters
+}
+
+// EstimateMinFreq implements Eq. (1): the minimum frequency from freqs
+// (ascending) at which application performance, linearly scaled from the
+// current frequency fCur and current IPS q, reaches the target Q. ok is
+// false if even the highest frequency falls short (the estimate then
+// returns that highest frequency).
+func EstimateMinFreq(freqs []float64, fCur, q, target float64) (float64, bool) {
+	if len(freqs) == 0 {
+		panic("features: empty frequency list")
+	}
+	if target <= 0 {
+		return freqs[0], true
+	}
+	if fCur <= 0 || q <= 0 {
+		// No throughput information yet (e.g. app just arrived):
+		// conservatively demand the highest level.
+		return freqs[len(freqs)-1], false
+	}
+	for _, f := range freqs {
+		if q*f/fCur >= target {
+			return f, true
+		}
+	}
+	return freqs[len(freqs)-1], false
+}
+
+// RequiredFreqWithout implements Eq. (2): the estimated VF level cluster
+// `cluster` must hold to keep all background applications (everything
+// except aoiID) at their QoS targets. With no background on the cluster it
+// returns the lowest frequency.
+func RequiredFreqWithout(s Snapshot, cluster int, aoiID sim.AppID) float64 {
+	cs := s.Clusters[cluster]
+	req := cs.Freqs[0]
+	for _, a := range s.Apps {
+		if a.ID == aoiID || a.Cluster != cluster {
+			continue
+		}
+		f, _ := EstimateMinFreq(cs.Freqs, cs.Freq, a.IPS, a.QoS)
+		if f > req {
+			req = f
+		}
+	}
+	return req
+}
+
+// Vector builds the feature vector for the AoI at index aoi in s.Apps.
+func Vector(s Snapshot, aoi int) []float64 {
+	if aoi < 0 || aoi >= len(s.Apps) {
+		panic(fmt.Sprintf("features: AoI index %d out of range [0,%d)", aoi, len(s.Apps)))
+	}
+	a := s.Apps[aoi]
+	ratios := make([]float64, len(s.Clusters))
+	for ci, cs := range s.Clusters {
+		ratios[ci] = RequiredFreqWithout(s, ci, a.ID) / cs.Freq
+	}
+	return Assemble(a.IPS, a.L2DPS, a.Core, s.NumCores, a.QoS, ratios,
+		BackgroundOccupancy(s, a.ID))
+}
+
+// Assemble builds the raw feature vector from its components. It is the
+// single place defining feature order and scaling, shared by the run-time
+// path (Vector) and the design-time oracle, so both produce identical
+// distributions.
+func Assemble(ips, l2dps float64, aoiCore, numCores int, qosTarget float64,
+	freqRatios, utils []float64) []float64 {
+	if aoiCore < 0 || aoiCore >= numCores {
+		panic(fmt.Sprintf("features: AoI core %d out of range [0,%d)", aoiCore, numCores))
+	}
+	if len(utils) != numCores {
+		panic("features: utilization vector length mismatch")
+	}
+	v := make([]float64, 0, 3+2*numCores+len(freqRatios))
+	// (a) AoI characteristics.
+	v = append(v, ips/ipsScale, l2dps/l2dScale)
+	for c := 0; c < numCores; c++ {
+		if c == aoiCore {
+			v = append(v, 1)
+		} else {
+			v = append(v, 0)
+		}
+	}
+	// (b) QoS target.
+	v = append(v, qosTarget/ipsScale)
+	// (c) background: required per-cluster frequency without the AoI,
+	// relative to the current frequency, and per-core occupancy.
+	v = append(v, freqRatios...)
+	v = append(v, utils...)
+	return v
+}
+
+// Describe renders a feature vector as a human-readable multi-line string
+// for debugging tools and logs. numCores/numClusters define the layout
+// (they must match the vector's Dim).
+func Describe(v []float64, numCores, numClusters int) string {
+	if len(v) != Dim(numCores, numClusters) {
+		return fmt.Sprintf("features: vector of %d values does not match %d cores / %d clusters",
+			len(v), numCores, numClusters)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "AoI QoS (current):  %.3f GIPS\n", v[0])
+	fmt.Fprintf(&b, "AoI L2D accesses:   %.3f (×1e8/s)\n", v[1])
+	core := -1
+	for c := 0; c < numCores; c++ {
+		if v[2+c] == 1 {
+			core = c
+		}
+	}
+	fmt.Fprintf(&b, "AoI current core:   %d\n", core)
+	fmt.Fprintf(&b, "AoI QoS target:     %.3f GIPS\n", v[2+numCores])
+	for ci := 0; ci < numClusters; ci++ {
+		fmt.Fprintf(&b, "f̃(cluster %d)/f:     %.3f\n", ci, v[3+numCores+ci])
+	}
+	b.WriteString("background cores:   ")
+	off := UtilOffset(numCores, numClusters)
+	for c := 0; c < numCores; c++ {
+		if v[off+c] != 0 {
+			fmt.Fprintf(&b, "%d ", c)
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// BackgroundOccupancy returns the per-core utilization features: 1 if the
+// core hosts any application other than aoiID, else 0.
+func BackgroundOccupancy(s Snapshot, aoiID sim.AppID) []float64 {
+	util := make([]float64, s.NumCores)
+	for _, b := range s.Apps {
+		if b.ID != aoiID {
+			util[b.Core] = 1
+		}
+	}
+	return util
+}
+
+// Vectors builds the feature matrix with one row per running application —
+// the batch the daemon sends to the NPU (each application as the AoI once).
+func Vectors(s Snapshot) [][]float64 {
+	out := make([][]float64, len(s.Apps))
+	for i := range s.Apps {
+		out[i] = Vector(s, i)
+	}
+	return out
+}

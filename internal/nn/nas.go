@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NASCandidate is one evaluated topology of the grid search.
+type NASCandidate struct {
+	Depth   int // number of hidden layers
+	Width   int // neurons per hidden layer
+	ValLoss float64
+	Params  int
+}
+
+// NASResult is the outcome of the topology grid search (the paper's Fig. 3:
+// depth × width grid; best found at 4 hidden layers × 64 neurons).
+type NASResult struct {
+	Candidates []NASCandidate // sorted by (Depth, Width)
+	Best       NASCandidate
+}
+
+// GridSearch trains one model per (depth, width) combination on train,
+// evaluating on val, and returns every candidate's validation loss. All
+// models share the same seed so the comparison isolates topology.
+func GridSearch(train, val Dataset, inDim, outDim int,
+	depths, widths []int, cfg TrainConfig, seed int64) (NASResult, error) {
+	if len(depths) == 0 || len(widths) == 0 {
+		return NASResult{}, fmt.Errorf("nn: empty NAS grid")
+	}
+	var res NASResult
+	res.Best.ValLoss = -1
+	for _, d := range depths {
+		for _, w := range widths {
+			if d <= 0 || w <= 0 {
+				return NASResult{}, fmt.Errorf("nn: invalid NAS grid entry (%d,%d)", d, w)
+			}
+			sizes := make([]int, 0, d+2)
+			sizes = append(sizes, inDim)
+			for i := 0; i < d; i++ {
+				sizes = append(sizes, w)
+			}
+			sizes = append(sizes, outDim)
+			m := NewMLP(sizes, seed)
+			tr, err := m.Train(train, val, cfg)
+			if err != nil {
+				return NASResult{}, err
+			}
+			cand := NASCandidate{Depth: d, Width: w, ValLoss: tr.BestValLoss, Params: m.NumParams()}
+			res.Candidates = append(res.Candidates, cand)
+			if res.Best.ValLoss < 0 || cand.ValLoss < res.Best.ValLoss {
+				res.Best = cand
+			}
+		}
+	}
+	sort.Slice(res.Candidates, func(i, j int) bool {
+		if res.Candidates[i].Depth != res.Candidates[j].Depth {
+			return res.Candidates[i].Depth < res.Candidates[j].Depth
+		}
+		return res.Candidates[i].Width < res.Candidates[j].Width
+	})
+	return res, nil
+}
+
+// PaperTopology returns the layer sizes the paper's NAS selected: four
+// hidden layers with 64 neurons each.
+func PaperTopology(inDim, outDim int) []int {
+	return []int{inDim, 64, 64, 64, 64, outDim}
+}

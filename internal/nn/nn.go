@@ -1,0 +1,248 @@
+// Package nn implements the fully-connected neural network used by TOP-IL:
+// dense layers with ReLU activations and a linear output layer, trained
+// with mini-batch Adam on an MSE loss, with exponentially decaying learning
+// rate and early stopping — the exact setup of the paper's Section "IL
+// Model Creation and Training". A grid-search NAS (nas.go) selects the
+// topology (the paper finds 4 hidden layers × 64 neurons).
+//
+// Only the standard library is used; the implementation favours clarity and
+// determinism (seeded initialization) over raw speed, which is sufficient
+// for the ~20k-example datasets of this problem.
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a multi-layer perceptron with ReLU hidden activations and a linear
+// output layer.
+type MLP struct {
+	sizes   []int       // layer widths, including input and output
+	weights [][]float64 // weights[l][o*in+i], layer l maps sizes[l] -> sizes[l+1]
+	biases  [][]float64
+}
+
+// NewMLP creates a network with the given layer sizes (input, hidden...,
+// output), initialized with He-scaled Gaussian weights from the seeded RNG.
+func NewMLP(sizes []int, seed int64) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: need at least input and output layer")
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			panic("nn: non-positive layer size")
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &MLP{sizes: append([]int(nil), sizes...)}
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		std := math.Sqrt(2 / float64(in))
+		for i := range w {
+			w[i] = rng.NormFloat64() * std
+		}
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, make([]float64, out))
+	}
+	return m
+}
+
+// Sizes returns the layer widths (copy).
+func (m *MLP) Sizes() []int { return append([]int(nil), m.sizes...) }
+
+// InputDim returns the expected input vector length.
+func (m *MLP) InputDim() int { return m.sizes[0] }
+
+// OutputDim returns the output vector length.
+func (m *MLP) OutputDim() int { return m.sizes[len(m.sizes)-1] }
+
+// NumParams returns the total number of trainable parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.weights {
+		n += len(m.weights[l]) + len(m.biases[l])
+	}
+	return n
+}
+
+// Predict runs a forward pass for a single input.
+func (m *MLP) Predict(x []float64) []float64 {
+	if len(x) != m.sizes[0] {
+		panic(fmt.Sprintf("nn: input dim %d, want %d", len(x), m.sizes[0]))
+	}
+	act := append([]float64(nil), x...)
+	last := len(m.weights) - 1
+	for l := range m.weights {
+		act = m.layerForward(l, act, l != last)
+	}
+	return act
+}
+
+// PredictBatch runs forward passes for several inputs.
+func (m *MLP) PredictBatch(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// layerForward computes layer l's output; relu selects the activation.
+func (m *MLP) layerForward(l int, in []float64, relu bool) []float64 {
+	inN, outN := m.sizes[l], m.sizes[l+1]
+	w, b := m.weights[l], m.biases[l]
+	out := make([]float64, outN)
+	for o := 0; o < outN; o++ {
+		sum := b[o]
+		row := w[o*inN : (o+1)*inN]
+		for i, v := range in {
+			sum += row[i] * v
+		}
+		if relu && sum < 0 {
+			sum = 0
+		}
+		out[o] = sum
+	}
+	return out
+}
+
+// forwardTrace runs a forward pass retaining all activations for backprop.
+// acts[0] is the input, acts[L] the output (pre-activation values are not
+// needed separately because ReLU's gradient can be derived from the
+// post-activation sign).
+func (m *MLP) forwardTrace(x []float64) [][]float64 {
+	acts := make([][]float64, len(m.sizes))
+	acts[0] = x
+	last := len(m.weights) - 1
+	for l := range m.weights {
+		acts[l+1] = m.layerForward(l, acts[l], l != last)
+	}
+	return acts
+}
+
+// backprop computes parameter gradients for one sample, accumulating into
+// gw/gb, and returns the sample's MSE loss. target must have OutputDim
+// entries.
+func (m *MLP) backprop(x, target []float64, gw, gb [][]float64) float64 {
+	acts := m.forwardTrace(x)
+	out := acts[len(acts)-1]
+	n := float64(len(out))
+	// delta = dL/d(pre-activation) at the output (linear): 2(y-t)/n.
+	delta := make([]float64, len(out))
+	loss := 0.0
+	for o := range out {
+		d := out[o] - target[o]
+		loss += d * d
+		delta[o] = 2 * d / n
+	}
+	loss /= n
+
+	for l := len(m.weights) - 1; l >= 0; l-- {
+		inN := m.sizes[l]
+		in := acts[l]
+		w := m.weights[l]
+		for o, d := range delta {
+			gb[l][o] += d
+			row := gw[l][o*inN : (o+1)*inN]
+			for i, v := range in {
+				row[i] += d * v
+			}
+		}
+		if l == 0 {
+			break
+		}
+		// Propagate delta through layer l and the ReLU of layer l-1's
+		// output (acts[l] are post-ReLU: zero entries had negative
+		// pre-activations, so their gradient is zero).
+		prev := make([]float64, inN)
+		for o, d := range delta {
+			row := w[o*inN : (o+1)*inN]
+			for i := range prev {
+				prev[i] += d * row[i]
+			}
+		}
+		for i := range prev {
+			if acts[l][i] <= 0 {
+				prev[i] = 0
+			}
+		}
+		delta = prev
+	}
+	return loss
+}
+
+// Clone returns a deep copy of the network.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{sizes: append([]int(nil), m.sizes...)}
+	for l := range m.weights {
+		c.weights = append(c.weights, append([]float64(nil), m.weights[l]...))
+		c.biases = append(c.biases, append([]float64(nil), m.biases[l]...))
+	}
+	return c
+}
+
+// MapParams applies f to every weight and bias in place — e.g. to emulate
+// the precision of a deployment target.
+func (m *MLP) MapParams(f func(float64) float64) {
+	for l := range m.weights {
+		for i := range m.weights[l] {
+			m.weights[l][i] = f(m.weights[l][i])
+		}
+		for i := range m.biases[l] {
+			m.biases[l][i] = f(m.biases[l][i])
+		}
+	}
+}
+
+// CopyFrom overwrites this network's parameters with src's (same topology
+// required).
+func (m *MLP) CopyFrom(src *MLP) {
+	if len(m.sizes) != len(src.sizes) {
+		panic("nn: CopyFrom topology mismatch")
+	}
+	for i := range m.sizes {
+		if m.sizes[i] != src.sizes[i] {
+			panic("nn: CopyFrom topology mismatch")
+		}
+	}
+	for l := range m.weights {
+		copy(m.weights[l], src.weights[l])
+		copy(m.biases[l], src.biases[l])
+	}
+}
+
+// mlpJSON is the serialization schema.
+type mlpJSON struct {
+	Sizes   []int       `json:"sizes"`
+	Weights [][]float64 `json:"weights"`
+	Biases  [][]float64 `json:"biases"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *MLP) MarshalJSON() ([]byte, error) {
+	return json.Marshal(mlpJSON{Sizes: m.sizes, Weights: m.weights, Biases: m.biases})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *MLP) UnmarshalJSON(data []byte) error {
+	var j mlpJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Sizes) < 2 || len(j.Weights) != len(j.Sizes)-1 || len(j.Biases) != len(j.Sizes)-1 {
+		return fmt.Errorf("nn: malformed model JSON")
+	}
+	for l := 0; l+1 < len(j.Sizes); l++ {
+		if len(j.Weights[l]) != j.Sizes[l]*j.Sizes[l+1] || len(j.Biases[l]) != j.Sizes[l+1] {
+			return fmt.Errorf("nn: layer %d shape mismatch", l)
+		}
+	}
+	m.sizes = j.Sizes
+	m.weights = j.Weights
+	m.biases = j.Biases
+	return nil
+}

@@ -1,0 +1,125 @@
+// Package perf implements the analytic performance model: how many
+// instructions per second (IPS) an application phase achieves on a given
+// core type, at a given frequency, with a given time share of the core.
+//
+// The model is a two-term CPI stack: the time per instruction is the sum of
+// a core term 1/(IPC·f), which scales with frequency, and a memory term
+// MPKI/1000 · Lmem, which does not. This reproduces the two effects the
+// paper's policies exploit:
+//
+//   - applications benefit differently from the big cluster (per-cluster
+//     IPC differs per application), and
+//   - memory-bound applications are insensitive to DVFS (the memory term
+//     dominates), e.g. canneal under powersave.
+//
+// The big cluster's larger caches additionally reduce the effective miss
+// rate by a constant factor.
+package perf
+
+import (
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Model holds the performance-model parameters. The zero value is not
+// usable; construct with Default().
+type Model struct {
+	// MemLatency is the effective per-miss stall time in seconds.
+	MemLatency float64
+	// BigMissScale is the multiplicative reduction of MPKI on the big
+	// cluster due to its larger caches.
+	BigMissScale float64
+}
+
+// Default returns the calibrated model (100 ns effective miss penalty,
+// 40 % miss reduction on big).
+func Default() Model {
+	return Model{MemLatency: 100e-9, BigMissScale: 0.6}
+}
+
+// ipc returns the stall-free IPC of phase p on cluster kind k. The
+// benchmark catalog characterizes big and LITTLE (the paper's platform);
+// mid-cluster IPC is derived as 85 % of big — an A76-class core loses
+// little single-thread performance against the big gear.
+func ipc(p workload.Phase, k platform.ClusterKind) float64 {
+	switch k {
+	case platform.Big:
+		return p.IPCBig
+	case platform.Mid:
+		return 0.85 * p.IPCBig
+	default:
+		return p.IPCLittle
+	}
+}
+
+// missRate returns the effective misses per instruction of phase p on
+// cluster kind k (big and mid caches reduce the LITTLE-referenced rate).
+func (m Model) missRate(p workload.Phase, k platform.ClusterKind) float64 {
+	mpi := p.MPKI / 1000
+	switch k {
+	case platform.Big:
+		mpi *= m.BigMissScale
+	case platform.Mid:
+		mpi *= (1 + m.BigMissScale) / 2
+	}
+	return mpi
+}
+
+// TimePerInstr returns the seconds per instruction of phase p running alone
+// on a core of kind k at frequency f (Hz).
+func (m Model) TimePerInstr(p workload.Phase, k platform.ClusterKind, f float64) float64 {
+	return 1/(ipc(p, k)*f) + m.missRate(p, k)*m.MemLatency
+}
+
+// IPS returns the instructions per second of phase p on a core of kind k at
+// frequency f, given the fraction `share` in (0,1] of core time the
+// application receives (time-sharing with co-located applications).
+func (m Model) IPS(p workload.Phase, k platform.ClusterKind, f, share float64) float64 {
+	if share <= 0 {
+		return 0
+	}
+	return share / m.TimePerInstr(p, k, f)
+}
+
+// L2DPS returns the L2 data-cache accesses per second corresponding to the
+// achieved IPS — the performance counter the policies observe.
+func L2DPS(p workload.Phase, achievedIPS float64) float64 {
+	return p.L2APKI / 1000 * achievedIPS
+}
+
+// CycleUtilization returns the fraction of active cycles doing work rather
+// than stalling on memory, in (0,1]. It feeds the power model's activity
+// factor: memory-stalled cycles switch less logic.
+func (m Model) CycleUtilization(p workload.Phase, k platform.ClusterKind, f float64) float64 {
+	core := 1 / (ipc(p, k) * f)
+	return core / m.TimePerInstr(p, k, f)
+}
+
+// PeakIPS returns the maximum IPS the application can reach: alone on a big
+// core at the platform's highest big-cluster VF level, in its fastest phase.
+// The paper defines QoS targets as fractions of this quantity.
+func (m Model) PeakIPS(plat *platform.Platform, spec workload.AppSpec) float64 {
+	big, _ := plat.ClusterByKind(platform.Big)
+	best := 0.0
+	for _, p := range spec.Phases {
+		if v := m.IPS(p, platform.Big, big.MaxFreq(), 1); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MinFreqFor returns the lowest frequency (Hz) from freqs (ascending) at
+// which phase p reaches at least targetIPS with the given core share, or
+// (0, false) if even the highest frequency falls short. This is the exact
+// per-trace computation the oracle uses; the run-time policies instead use
+// the linear-scaling estimate of Eq. (1).
+func (m Model) MinFreqFor(p workload.Phase, k platform.ClusterKind,
+	freqs []float64, share, targetIPS float64) (float64, bool) {
+	for _, f := range freqs {
+		if m.IPS(p, k, f, share) >= targetIPS {
+			return f, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,215 @@
+package perf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func phaseOf(t *testing.T, name string) workload.Phase {
+	t.Helper()
+	spec, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	return spec.Phases[0]
+}
+
+func TestIPSMonotonicInFrequency(t *testing.T) {
+	m := Default()
+	for _, spec := range workload.Catalog() {
+		for _, p := range spec.Phases {
+			for _, k := range []platform.ClusterKind{platform.Little, platform.Big} {
+				prev := 0.0
+				for f := 0.5e9; f <= 2.4e9; f += 0.1e9 {
+					v := m.IPS(p, k, f, 1)
+					if v <= prev {
+						t.Fatalf("%s: IPS not increasing with f on %v", spec.Name, k)
+					}
+					prev = v
+				}
+			}
+		}
+	}
+}
+
+func TestIPSScalesWithShare(t *testing.T) {
+	m := Default()
+	p := phaseOf(t, "adi")
+	full := m.IPS(p, platform.Big, 1e9, 1)
+	half := m.IPS(p, platform.Big, 1e9, 0.5)
+	if diff := full/2 - half; diff > 1e-6*full || diff < -1e-6*full {
+		t.Errorf("IPS(share=0.5) = %g, want %g", half, full/2)
+	}
+	if m.IPS(p, platform.Big, 1e9, 0) != 0 {
+		t.Error("IPS(share=0) != 0")
+	}
+}
+
+// TestAdiMotivationalAsymmetry checks the paper's motivational example:
+// adi needs roughly the LITTLE cluster's top frequency but only a
+// low big-cluster frequency to reach a QoS target of 30 % of its peak IPS.
+func TestAdiMotivationalAsymmetry(t *testing.T) {
+	m := Default()
+	plat := platform.HiKey970()
+	p := phaseOf(t, "adi")
+	spec, _ := workload.ByName("adi")
+	target := 0.3 * m.PeakIPS(plat, spec)
+
+	little, _ := plat.ClusterByKind(platform.Little)
+	big, _ := plat.ClusterByKind(platform.Big)
+	littleFreqs := make([]float64, little.NumOPPs())
+	for i := range littleFreqs {
+		littleFreqs[i] = little.FreqAt(i)
+	}
+	bigFreqs := make([]float64, big.NumOPPs())
+	for i := range bigFreqs {
+		bigFreqs[i] = big.FreqAt(i)
+	}
+
+	fl, okL := m.MinFreqFor(p, platform.Little, littleFreqs, 1, target)
+	fb, okB := m.MinFreqFor(p, platform.Big, bigFreqs, 1, target)
+	if !okL || !okB {
+		t.Fatalf("adi cannot reach 30%% QoS: little ok=%v big ok=%v", okL, okB)
+	}
+	// Paper: 1.8 GHz on LITTLE vs 0.7 GHz on big.
+	if fl < 1.6e9 {
+		t.Errorf("adi min LITTLE freq = %g, want near top of ladder", fl)
+	}
+	if fb > 1.1e9 {
+		t.Errorf("adi min big freq = %g, want near bottom of ladder", fb)
+	}
+}
+
+// TestSeidelPrefersLittle checks that seidel-2d reaches the same QoS target
+// at a comparatively low LITTLE frequency (the paper maps it to LITTLE).
+func TestSeidelPrefersLittle(t *testing.T) {
+	m := Default()
+	plat := platform.HiKey970()
+	p := phaseOf(t, "seidel-2d")
+	spec, _ := workload.ByName("seidel-2d")
+	target := 0.3 * m.PeakIPS(plat, spec)
+
+	little, _ := plat.ClusterByKind(platform.Little)
+	freqs := make([]float64, little.NumOPPs())
+	for i := range freqs {
+		freqs[i] = little.FreqAt(i)
+	}
+	fl, ok := m.MinFreqFor(p, platform.Little, freqs, 1, target)
+	if !ok {
+		t.Fatal("seidel-2d cannot reach 30% QoS on LITTLE")
+	}
+	if fl > 1.3e9 {
+		t.Errorf("seidel-2d min LITTLE freq = %g, want mid-ladder or below", fl)
+	}
+}
+
+// TestCannealDVFSInsensitive checks the memory-bound application's weak
+// frequency scaling (paper: canneal meets QoS even under powersave).
+func TestCannealDVFSInsensitive(t *testing.T) {
+	m := Default()
+	p := phaseOf(t, "canneal")
+	lo := m.IPS(p, platform.Big, 682e6, 1)
+	hi := m.IPS(p, platform.Big, 2362e6, 1)
+	if ratio := hi / lo; ratio > 2.2 {
+		t.Errorf("canneal IPS ratio max/min freq = %.2f, want < 2.2 (memory bound)", ratio)
+	}
+	// A compute-bound app must scale much more strongly.
+	sw := phaseOf(t, "swaptions")
+	lo = m.IPS(sw, platform.Big, 682e6, 1)
+	hi = m.IPS(sw, platform.Big, 2362e6, 1)
+	if ratio := hi / lo; ratio < 3.0 {
+		t.Errorf("swaptions IPS ratio = %.2f, want > 3 (compute bound)", ratio)
+	}
+}
+
+func TestBigAlwaysFasterAtSameFreq(t *testing.T) {
+	// With the catalog's IPCBig > IPCLittle and reduced miss rate, big
+	// must dominate at equal frequency — the clusters differ in
+	// efficiency, not raw speed.
+	m := Default()
+	for _, spec := range workload.Catalog() {
+		for _, p := range spec.Phases {
+			if m.IPS(p, platform.Big, 1e9, 1) <= m.IPS(p, platform.Little, 1e9, 1) {
+				t.Errorf("%s: big not faster than LITTLE at 1 GHz", spec.Name)
+			}
+		}
+	}
+}
+
+func TestMinFreqForProperty(t *testing.T) {
+	m := Default()
+	plat := platform.HiKey970()
+	big, _ := plat.ClusterByKind(platform.Big)
+	freqs := make([]float64, big.NumOPPs())
+	for i := range freqs {
+		freqs[i] = big.FreqAt(i)
+	}
+	specs := workload.Catalog()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := specs[r.Intn(len(specs))]
+		p := spec.Phases[r.Intn(len(spec.Phases))]
+		target := r.Float64() * 5e9
+		fmin, ok := m.MinFreqFor(p, platform.Big, freqs, 1, target)
+		if !ok {
+			return m.IPS(p, platform.Big, freqs[len(freqs)-1], 1) < target
+		}
+		if m.IPS(p, platform.Big, fmin, 1) < target {
+			return false // does not satisfy
+		}
+		idx := big.IndexOf(fmin)
+		if idx > 0 && m.IPS(p, platform.Big, freqs[idx-1], 1) >= target {
+			return false // not minimal
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCycleUtilizationBounds(t *testing.T) {
+	m := Default()
+	for _, spec := range workload.Catalog() {
+		for _, p := range spec.Phases {
+			for _, f := range []float64{509e6, 1.2e9, 2.362e9} {
+				u := m.CycleUtilization(p, platform.Big, f)
+				if u <= 0 || u > 1 {
+					t.Errorf("%s: cycle utilization %g out of (0,1]", spec.Name, u)
+				}
+			}
+		}
+	}
+	// Utilization falls with frequency for memory-bound apps (stall share grows).
+	p := phaseOf(t, "canneal")
+	if m.CycleUtilization(p, platform.Big, 2.362e9) >= m.CycleUtilization(p, platform.Big, 682e6) {
+		t.Error("canneal: cycle utilization should drop at high frequency")
+	}
+}
+
+func TestL2DPSProportionalToIPS(t *testing.T) {
+	p := phaseOf(t, "fdtd-2d")
+	if got, want := L2DPS(p, 1e9), p.L2APKI/1000*1e9; got != want {
+		t.Errorf("L2DPS = %g, want %g", got, want)
+	}
+}
+
+func TestPeakIPSUsesFastestPhase(t *testing.T) {
+	m := Default()
+	plat := platform.HiKey970()
+	spec, _ := workload.ByName("dedup") // two phases with different IPS
+	peak := m.PeakIPS(plat, spec)
+	big, _ := plat.ClusterByKind(platform.Big)
+	for _, p := range spec.Phases {
+		if v := m.IPS(p, platform.Big, big.MaxFreq(), 1); v > peak+1 {
+			t.Errorf("PeakIPS %g below phase IPS %g", peak, v)
+		}
+	}
+	if peak <= 0 {
+		t.Error("PeakIPS not positive")
+	}
+}

@@ -1,0 +1,83 @@
+// Package power implements the per-core power model that drives the thermal
+// simulation.
+//
+// Per-core power is the sum of dynamic switching power, proportional to
+// C_eff · V² · f scaled by an activity factor, and leakage power, which
+// grows with supply voltage and with temperature. The HiKey970 exposes no
+// power sensors (a central premise of the paper: policies cannot observe
+// power), so this model is used exclusively by the simulation substrate —
+// never by a management policy.
+package power
+
+import "repro/internal/platform"
+
+// ClusterParams holds the power parameters of one cluster type.
+type ClusterParams struct {
+	// CEff is the effective switched capacitance of one core at full
+	// activity, in farads.
+	CEff float64
+	// LeakCoeff is the leakage conductance coefficient: leakage at
+	// reference temperature is LeakCoeff · V, in W/V.
+	LeakCoeff float64
+	// IdleFrac is the fraction of full-activity dynamic power an idle
+	// (clock-gated but not power-gated) core consumes.
+	IdleFrac float64
+}
+
+// Model holds per-cluster power parameters and leakage temperature scaling.
+type Model struct {
+	Params map[platform.ClusterKind]ClusterParams
+	// LeakTempCoeff is the relative leakage increase per °C above TRef.
+	LeakTempCoeff float64
+	// TRef is the leakage reference temperature in °C.
+	TRef float64
+	// Uncore is the constant rest-of-SoC power (memory controller,
+	// interconnect) in W, attributed to the package node.
+	Uncore float64
+}
+
+// Default returns the calibrated power model. With these parameters a fully
+// active big core at the top OPP (2.362 GHz, 1.10 V) draws ≈3.4 W dynamic,
+// a LITTLE core at its top OPP (1.844 GHz, 1.00 V) ≈0.65 W — in line with
+// published Cortex-A73/A53 smartphone figures.
+func Default() Model {
+	return Model{
+		Params: map[platform.ClusterKind]ClusterParams{
+			platform.Little: {CEff: 0.35e-9, LeakCoeff: 0.05, IdleFrac: 0.03},
+			platform.Mid:    {CEff: 0.80e-9, LeakCoeff: 0.10, IdleFrac: 0.03},
+			platform.Big:    {CEff: 1.20e-9, LeakCoeff: 0.15, IdleFrac: 0.03},
+		},
+		LeakTempCoeff: 0.012,
+		TRef:          25,
+		Uncore:        0.5,
+	}
+}
+
+// Dynamic returns the dynamic power in W of a core of kind k at frequency f
+// (Hz) and voltage v, with activity in [0,1]. Activity combines the time
+// share the core spends executing and the fraction of non-stalled cycles.
+func (m Model) Dynamic(k platform.ClusterKind, f, v, activity float64) float64 {
+	p := m.Params[k]
+	if activity < p.IdleFrac {
+		activity = p.IdleFrac // clock tree keeps switching on an idle core
+	}
+	return p.CEff * v * v * f * activity
+}
+
+// Leakage returns the static power in W of a core of kind k at voltage v
+// and die temperature tempC (°C). Leakage grows linearly with temperature,
+// creating the positive feedback loop that makes thermal management harder
+// at high temperatures.
+func (m Model) Leakage(k platform.ClusterKind, v, tempC float64) float64 {
+	p := m.Params[k]
+	scale := 1 + m.LeakTempCoeff*(tempC-m.TRef)
+	if scale < 0.5 {
+		scale = 0.5 // leakage never vanishes
+	}
+	return p.LeakCoeff * v * scale
+}
+
+// Core returns the total power of one core.
+func (m Model) Core(k platform.ClusterKind, f, v, activity, tempC float64) float64 {
+	return m.Dynamic(k, f, v, activity) + m.Leakage(k, v, tempC)
+}

@@ -1,0 +1,127 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+func TestDynamicScaling(t *testing.T) {
+	m := Default()
+	base := m.Dynamic(platform.Big, 1e9, 1.0, 1.0)
+	if base <= 0 {
+		t.Fatal("dynamic power not positive")
+	}
+	// P ∝ f.
+	if got := m.Dynamic(platform.Big, 2e9, 1.0, 1.0); got != 2*base {
+		t.Errorf("doubling f: %g, want %g", got, 2*base)
+	}
+	// P ∝ V².
+	if got := m.Dynamic(platform.Big, 1e9, 2.0, 1.0); got != 4*base {
+		t.Errorf("doubling V: %g, want %g", got, 4*base)
+	}
+	// P ∝ activity above the idle floor.
+	if got := m.Dynamic(platform.Big, 1e9, 1.0, 0.5); got != 0.5*base {
+		t.Errorf("half activity: %g, want %g", got, 0.5*base)
+	}
+}
+
+func TestIdleFloor(t *testing.T) {
+	m := Default()
+	idle := m.Dynamic(platform.Big, 1e9, 1.0, 0)
+	floor := m.Dynamic(platform.Big, 1e9, 1.0, m.Params[platform.Big].IdleFrac)
+	if idle != floor {
+		t.Errorf("idle power %g, want clamped to floor %g", idle, floor)
+	}
+	if idle <= 0 {
+		t.Error("idle core must still draw clock-tree power")
+	}
+}
+
+func TestBigDrawsMoreThanLittle(t *testing.T) {
+	m := Default()
+	b := m.Dynamic(platform.Big, 1e9, 0.8, 1)
+	l := m.Dynamic(platform.Little, 1e9, 0.8, 1)
+	if b <= 2*l {
+		t.Errorf("big %g W vs LITTLE %g W: big should draw several times more", b, l)
+	}
+}
+
+func TestCalibratedPeaks(t *testing.T) {
+	m := Default()
+	plat := platform.HiKey970()
+	big, _ := plat.ClusterByKind(platform.Big)
+	little, _ := plat.ClusterByKind(platform.Little)
+	pb := m.Dynamic(platform.Big, big.MaxFreq(), big.VoltageAt(big.NumOPPs()-1), 1)
+	pl := m.Dynamic(platform.Little, little.MaxFreq(), little.VoltageAt(little.NumOPPs()-1), 1)
+	if pb < 2.5 || pb > 4.5 {
+		t.Errorf("big peak dynamic = %.2f W, want 2.5-4.5 (A73 class)", pb)
+	}
+	if pl < 0.4 || pl > 1.0 {
+		t.Errorf("LITTLE peak dynamic = %.2f W, want 0.4-1.0 (A53 class)", pl)
+	}
+}
+
+func TestLeakageGrowsWithTemperature(t *testing.T) {
+	m := Default()
+	cold := m.Leakage(platform.Big, 1.0, 25)
+	hot := m.Leakage(platform.Big, 1.0, 85)
+	if hot <= cold {
+		t.Errorf("leakage at 85°C (%g) not above 25°C (%g)", hot, cold)
+	}
+	// Linear coefficient: 60°C above reference at 1.2%/°C → +72 %.
+	want := cold * (1 + 0.012*60)
+	if diff := hot - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("leakage at 85°C = %g, want %g", hot, want)
+	}
+}
+
+func TestLeakageFloor(t *testing.T) {
+	m := Default()
+	// Far below reference temperature the clamp keeps leakage positive.
+	if got := m.Leakage(platform.Big, 1.0, -200); got <= 0 {
+		t.Errorf("leakage clamped to %g, want > 0", got)
+	}
+}
+
+func TestCoreIsSumOfParts(t *testing.T) {
+	m := Default()
+	f, v, act, temp := 1.5e9, 0.9, 0.7, 55.0
+	want := m.Dynamic(platform.Little, f, v, act) + m.Leakage(platform.Little, v, temp)
+	if got := m.Core(platform.Little, f, v, act, temp); got != want {
+		t.Errorf("Core = %g, want %g", got, want)
+	}
+}
+
+func TestPowerNonNegativeProperty(t *testing.T) {
+	m := Default()
+	f := func(fGHz, v, act, temp float64) bool {
+		fr := clamp(fGHz, 0.1, 3) * 1e9
+		vv := clamp(v, 0.5, 1.3)
+		a := clamp(act, 0, 1)
+		tc := clamp(temp, -40, 125)
+		for _, k := range []platform.ClusterKind{platform.Little, platform.Big} {
+			if m.Core(k, fr, vv, a, tc) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x != x { // NaN
+		return lo
+	}
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

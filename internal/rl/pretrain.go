@@ -1,0 +1,53 @@
+package rl
+
+import (
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// PretrainConfig controls offline Q-table pretraining. The paper trains
+// each policy until convergence (~3 h on the board) on a random workload
+// disjoint from the evaluation workloads, then stores the Q-table and loads
+// it for every evaluation run.
+type PretrainConfig struct {
+	Seed        int64   // workload and exploration seed
+	DurationSec float64 // simulated training time
+	ArrivalRate float64 // jobs per second
+	NumJobs     int
+	InstrScale  float64 // shortens applications for faster convergence
+	Fan         bool
+	TAmb        float64
+}
+
+// DefaultPretrainConfig returns a configuration equivalent in coverage to
+// the paper's 3-hour run, compressed by shortening applications.
+func DefaultPretrainConfig(seed int64) PretrainConfig {
+	return PretrainConfig{
+		Seed:        seed,
+		DurationSec: 3600,
+		ArrivalRate: 0.1,
+		NumJobs:     300,
+		InstrScale:  0.02,
+		Fan:         true,
+		TAmb:        25,
+	}
+}
+
+// Pretrain trains the given Q-table in place on a random workload and
+// returns the manager's final overhead stats (informational).
+func Pretrain(table *QTable, params Params, cfg PretrainConfig) error {
+	sc := sim.DefaultConfig(cfg.Fan, cfg.TAmb)
+	sc.Seed = cfg.Seed
+	e := sim.New(sc)
+	pm := perf.Default()
+	gen := workload.NewGenerator(cfg.Seed, workload.TrainingSet(),
+		func(s workload.AppSpec) float64 { return pm.PeakIPS(sc.Platform, s) },
+		0.2, 0.7, cfg.InstrScale)
+	e.AddJobs(gen.Generate(cfg.NumJobs, cfg.ArrivalRate))
+
+	params.Learning = true
+	mgr := New(table, params, cfg.Seed)
+	e.Run(mgr, cfg.DurationSec)
+	return nil
+}

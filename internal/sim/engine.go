@@ -1,0 +1,564 @@
+// Package sim implements the discrete-time simulation engine that stands in
+// for the HiKey970 board: it executes application models on cores with
+// Linux-like time sharing, integrates the power and thermal models, samples
+// the on-board temperature sensor at 20 Hz, applies DTM throttling, and
+// exposes to management policies exactly the observables and knobs the real
+// platform offers (perf counters, utilization, affinity, userspace DVFS).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/perf"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// AppID identifies a running application instance within one simulation.
+type AppID int
+
+// Manager is a run-time resource-management policy. The engine calls Tick
+// every Config.ManagerPeriod simulated seconds; the manager reads sensors
+// and actuates knobs through the Env it was attached to.
+type Manager interface {
+	Name() string
+	// Attach is called once before the simulation starts.
+	Attach(env *Env)
+	// Tick is called periodically with the current simulated time.
+	Tick(now float64)
+}
+
+// Placer is an optional Manager extension: if implemented, the engine asks
+// the manager where to place a newly arrived application. Otherwise the
+// engine uses a Linux-CFS-like default (least-loaded core).
+type Placer interface {
+	Place(job workload.Job) platform.CoreID
+}
+
+// DTMConfig configures dynamic thermal management (the vendor throttling
+// that the paper's training setup avoids by using a fan).
+type DTMConfig struct {
+	Enable   bool
+	TripC    float64 // throttle above this sensor temperature
+	ReleaseC float64 // stop limiting below this temperature
+	Period   float64 // seconds between DTM decisions
+}
+
+// Config assembles a simulation.
+type Config struct {
+	Platform *platform.Platform
+	Thermal  *thermal.Network
+	Power    power.Model
+	Perf     perf.Model
+
+	Dt            float64 // simulation tick, default 10 ms
+	ManagerPeriod float64 // manager tick, default 50 ms
+	SensorPeriod  float64 // temperature sensor sampling, default 50 ms (20 Hz)
+	SensorNoise   float64 // stddev of sensor noise in °C, default 0
+	Seed          int64
+
+	DTM DTMConfig
+
+	// Migration cost model: an application stalls for
+	// PenaltyBase + PenaltyPerMPKI·MPKI seconds after each migration
+	// (cold caches; memory-intensive applications suffer more).
+	PenaltyBase    float64
+	PenaltyPerMPKI float64
+
+	// WindowTicks is the length of the perf-counter averaging window in
+	// ticks (default 10, i.e. 100 ms).
+	WindowTicks int
+}
+
+// DefaultConfig returns a ready-to-run configuration for the HiKey970 with
+// the given cooling setup and ambient temperature.
+func DefaultConfig(fan bool, tAmb float64) Config {
+	return Config{
+		Platform:      platform.HiKey970(),
+		Thermal:       thermal.HiKey970Network(fan, tAmb),
+		Power:         power.Default(),
+		Perf:          perf.Default(),
+		Dt:            0.01,
+		ManagerPeriod: 0.05,
+		SensorPeriod:  0.05,
+		// Mobile SoCs throttle at 65-75 °C junction temperature; with
+		// this trip point GTS/ondemand hits DTM under passive cooling at
+		// high load (the paper's observation) while the fan keeps every
+		// policy below it, as in the paper's training setup.
+		DTM:            DTMConfig{Enable: true, TripC: 65, ReleaseC: 60, Period: 0.05},
+		PenaltyBase:    0.002,
+		PenaltyPerMPKI: 0.0007,
+		WindowTicks:    10,
+	}
+}
+
+// appState is the engine-internal state of one application instance.
+type appState struct {
+	id   AppID
+	job  workload.Job
+	core platform.CoreID
+
+	arrived  bool
+	done     bool
+	executed float64 // instructions
+	start    float64 // arrival time (== job.Arrival)
+	end      float64 // completion time, valid if done
+
+	stallUntil float64 // migration cold-cache stall deadline
+
+	// rolling perf-counter window (instantaneous IPS/L2DPS per tick)
+	winIPS  []float64
+	winL2D  []float64
+	winNext int
+	winLen  int
+
+	instrTotal float64 // lifetime instructions (for mean IPS)
+}
+
+func (a *appState) meanIPS(now float64) float64 {
+	active := now - a.start
+	if a.done {
+		active = a.end - a.start
+	}
+	if active <= 0 {
+		return 0
+	}
+	return a.instrTotal / active
+}
+
+func (a *appState) windowIPS() float64 { return winAvg(a.winIPS, a.winLen) }
+func (a *appState) windowL2D() float64 { return winAvg(a.winL2D, a.winLen) }
+
+func winAvg(w []float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += w[i]
+	}
+	return sum / float64(n)
+}
+
+func (a *appState) pushWindow(ips, l2d float64) {
+	a.winIPS[a.winNext] = ips
+	a.winL2D[a.winNext] = l2d
+	a.winNext = (a.winNext + 1) % len(a.winIPS)
+	if a.winLen < len(a.winIPS) {
+		a.winLen++
+	}
+}
+
+// Engine is one simulation instance. Create with New, add jobs, then Run.
+type Engine struct {
+	cfg  Config
+	rng  *rand.Rand
+	env  *Env
+	mets *collector
+
+	pending []workload.Job // sorted by arrival, not yet started
+	apps    []*appState    // all instances, arrived or done
+	byCore  [][]AppID      // running app IDs per core
+
+	freqIdx []int // current VF level per cluster
+	dtmCap  []int // max VF level allowed by DTM per cluster
+	tripped bool
+
+	now          float64
+	nextManager  float64
+	nextSensor   float64
+	nextDTM      float64
+	sensorT      float64 // last sensor sample (°C)
+	overheadDebt float64 // seconds of management overhead to charge to core 0
+
+	corePower []float64 // scratch: power per thermal node
+	coreUtil  [][]float64
+	coreUtilN int
+	utilNext  int
+}
+
+// New creates an engine. The thermal network in cfg must have at least one
+// node per core (core i -> node i); extra nodes (package) receive the
+// uncore power on the last node.
+func New(cfg Config) *Engine {
+	if cfg.Platform == nil || cfg.Thermal == nil {
+		panic("sim: Config requires Platform and Thermal")
+	}
+	if cfg.Dt <= 0 || cfg.ManagerPeriod <= 0 || cfg.SensorPeriod <= 0 {
+		panic("sim: non-positive period in Config")
+	}
+	if len(cfg.Thermal.Nodes) < cfg.Platform.NumCores() {
+		panic("sim: thermal network smaller than core count")
+	}
+	if cfg.WindowTicks <= 0 {
+		cfg.WindowTicks = 10
+	}
+	e := &Engine{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		freqIdx:   make([]int, cfg.Platform.NumClusters()),
+		dtmCap:    make([]int, cfg.Platform.NumClusters()),
+		byCore:    make([][]AppID, cfg.Platform.NumCores()),
+		corePower: make([]float64, len(cfg.Thermal.Nodes)),
+		sensorT:   cfg.Thermal.Max(),
+	}
+	for ci, c := range cfg.Platform.Clusters {
+		e.freqIdx[ci] = 0
+		e.dtmCap[ci] = c.NumOPPs() - 1
+	}
+	e.coreUtilN = cfg.WindowTicks
+	e.coreUtil = make([][]float64, cfg.Platform.NumCores())
+	for i := range e.coreUtil {
+		e.coreUtil[i] = make([]float64, e.coreUtilN)
+	}
+	e.mets = newCollector(cfg.Platform)
+	e.env = &Env{engine: e}
+	return e
+}
+
+// AddJob schedules an application instance for arrival.
+func (e *Engine) AddJob(job workload.Job) {
+	if err := job.Spec.Validate(); err != nil {
+		panic("sim: invalid job: " + err.Error())
+	}
+	e.pending = append(e.pending, job)
+	sort.SliceStable(e.pending, func(i, j int) bool {
+		return e.pending[i].Arrival < e.pending[j].Arrival
+	})
+}
+
+// AddJobs schedules multiple jobs.
+func (e *Engine) AddJobs(jobs []workload.Job) {
+	for _, j := range jobs {
+		e.AddJob(j)
+	}
+}
+
+// Env returns the policy-facing environment (also useful in tests).
+func (e *Engine) Env() *Env { return e.env }
+
+// Done reports whether every scheduled application has arrived and
+// finished.
+func (e *Engine) Done() bool {
+	if len(e.pending) > 0 {
+		return false
+	}
+	for _, a := range e.apps {
+		if !a.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Run simulates `duration` seconds under the given manager (nil = no
+// management: frequencies stay wherever they are). It can be called
+// repeatedly to extend a simulation.
+func (e *Engine) Run(m Manager, duration float64) *Result {
+	return e.RunUntil(m, duration, nil)
+}
+
+// RunUntil simulates until `duration` seconds have elapsed or stop()
+// returns true (checked once per tick). stop may be nil.
+func (e *Engine) RunUntil(m Manager, duration float64, stop func() bool) *Result {
+	if m != nil {
+		m.Attach(e.env)
+	}
+	end := e.now + duration
+	for e.now < end-1e-9 {
+		if m != nil && e.now >= e.nextManager-1e-9 {
+			m.Tick(e.now)
+			e.nextManager = e.now + e.cfg.ManagerPeriod
+		}
+		e.step(m)
+		if stop != nil && stop() {
+			break
+		}
+	}
+	return e.mets.result(e)
+}
+
+// step advances the simulation by one tick.
+func (e *Engine) step(m Manager) {
+	dt := e.cfg.Dt
+
+	// 1. Arrivals.
+	for len(e.pending) > 0 && e.pending[0].Arrival <= e.now+1e-9 {
+		job := e.pending[0]
+		e.pending = e.pending[1:]
+		e.admit(job, m)
+	}
+
+	// 2. Execute applications with per-core time sharing.
+	e.execute(dt)
+
+	// 3. Power and thermal integration.
+	e.integrate(dt)
+
+	// 4. Sensor sampling (20 Hz).
+	if e.now >= e.nextSensor-1e-9 {
+		e.sensorT = e.readSensor()
+		e.nextSensor = e.now + e.cfg.SensorPeriod
+	}
+
+	// 5. DTM.
+	if e.cfg.DTM.Enable && e.now >= e.nextDTM-1e-9 {
+		e.dtmStep()
+		e.nextDTM = e.now + e.cfg.DTM.Period
+	}
+
+	e.mets.sample(e, dt)
+	e.now += dt
+}
+
+// admit places a newly arrived job on a core and registers it.
+func (e *Engine) admit(job workload.Job, m Manager) {
+	var core platform.CoreID
+	if p, ok := m.(Placer); ok {
+		core = p.Place(job)
+		if int(core) < 0 || int(core) >= e.cfg.Platform.NumCores() {
+			panic(fmt.Sprintf("sim: placer returned invalid core %d", core))
+		}
+	} else {
+		core = e.leastLoadedCore()
+	}
+	a := &appState{
+		id:     AppID(len(e.apps)),
+		job:    job,
+		core:   core,
+		start:  e.now,
+		winIPS: make([]float64, e.cfg.WindowTicks),
+		winL2D: make([]float64, e.cfg.WindowTicks),
+	}
+	a.arrived = true
+	e.apps = append(e.apps, a)
+	e.byCore[core] = append(e.byCore[core], a.id)
+}
+
+// leastLoadedCore mimics CFS initial placement: the core with the fewest
+// runnable applications, lowest ID on ties.
+func (e *Engine) leastLoadedCore() platform.CoreID {
+	best, bestN := platform.CoreID(0), len(e.byCore[0])+1
+	for c := range e.byCore {
+		if n := len(e.byCore[c]); n < bestN {
+			best, bestN = platform.CoreID(c), n
+		}
+	}
+	return best
+}
+
+// execute advances every running application by dt seconds of core time.
+func (e *Engine) execute(dt float64) {
+	// Management overhead consumes time on core 0 (the paper's
+	// implementation is single-threaded).
+	core0Scale := 1.0
+	if e.overheadDebt > 0 {
+		used := e.overheadDebt
+		if used > dt {
+			used = dt
+		}
+		core0Scale = 1 - used/dt
+		e.overheadDebt -= used
+		e.mets.overheadCharged += used
+	}
+
+	for c := range e.byCore {
+		// Snapshot: completions below mutate e.byCore[c] while iterating.
+		ids := append([]AppID(nil), e.byCore[c]...)
+		cid := e.cfg.Platform.ClusterIndexOf(platform.CoreID(c))
+		cluster := e.cfg.Platform.Clusters[cid]
+		f := cluster.FreqAt(e.effFreqIdx(cid))
+		kind := cluster.Kind
+
+		// Runnable = arrived, not done, not stalled by migration for the
+		// whole tick. Partially stalled apps run for the remainder.
+		runnable := ids[:0:0]
+		for _, id := range ids {
+			a := e.apps[id]
+			if !a.done && a.stallUntil < e.now+dt {
+				runnable = append(runnable, id)
+			}
+		}
+		share := 0.0
+		if len(runnable) > 0 {
+			share = 1 / float64(len(runnable))
+		}
+		scale := 1.0
+		if c == 0 {
+			scale = core0Scale
+		}
+		util := 0.0
+		if len(runnable) > 0 {
+			util = scale
+		}
+		e.pushCoreUtil(c, util)
+
+		for _, id := range ids {
+			a := e.apps[id]
+			if a.done {
+				continue
+			}
+			if a.stallUntil >= e.now+dt {
+				a.pushWindow(0, 0)
+				continue
+			}
+			// avail is the stall-free fraction of this tick (cold-cache
+			// penalties are shorter than a tick, so they must not be
+			// rounded up to whole ticks).
+			avail := 1.0
+			if a.stallUntil > e.now {
+				avail = (e.now + dt - a.stallUntil) / dt
+			}
+			ph := a.job.Spec.PhaseAt(a.executed)
+			ips := e.cfg.Perf.IPS(ph, kind, f, share) * scale * avail
+			instr := ips * dt
+			if a.executed+instr >= a.job.Spec.TotalInstr {
+				// Completion within this tick.
+				remain := a.job.Spec.TotalInstr - a.executed
+				frac := remain / instr
+				instr = remain
+				a.done = true
+				a.end = e.now + frac*dt
+				e.removeFromCore(a.id, a.core)
+			}
+			a.executed += instr
+			a.instrTotal += instr
+			a.pushWindow(ips, perf.L2DPS(ph, ips))
+		}
+	}
+}
+
+func (e *Engine) pushCoreUtil(c int, u float64) {
+	e.coreUtil[c][e.utilNext%e.coreUtilN] = u
+}
+
+// integrate computes per-node power and steps the thermal network.
+func (e *Engine) integrate(dt float64) {
+	for i := range e.corePower {
+		e.corePower[i] = 0
+	}
+	temps := e.cfg.Thermal.Temps()
+	for c := 0; c < e.cfg.Platform.NumCores(); c++ {
+		cid := e.cfg.Platform.ClusterIndexOf(platform.CoreID(c))
+		cluster := e.cfg.Platform.Clusters[cid]
+		idx := e.effFreqIdx(cid)
+		f, v := cluster.FreqAt(idx), cluster.VoltageAt(idx)
+
+		activity := 0.0
+		ids := e.byCore[c]
+		n := 0
+		for _, id := range ids {
+			a := e.apps[id]
+			if a.done || a.stallUntil >= e.now+dt {
+				continue
+			}
+			n++
+		}
+		if n > 0 {
+			share := 1 / float64(n)
+			for _, id := range ids {
+				a := e.apps[id]
+				if a.done || a.stallUntil >= e.now+dt {
+					continue
+				}
+				ph := a.job.Spec.PhaseAt(a.executed)
+				activity += share * e.cfg.Perf.CycleUtilization(ph, cluster.Kind, f)
+			}
+		}
+		e.corePower[c] = e.cfg.Power.Core(cluster.Kind, f, v, activity, temps[c])
+	}
+	// Uncore power goes to the last thermal node (package).
+	e.corePower[len(e.corePower)-1] += e.cfg.Power.Uncore
+	e.cfg.Thermal.Step(e.corePower, dt)
+	e.utilNext++
+}
+
+// readSensor returns the on-board sensor reading: the hottest core
+// temperature plus optional measurement noise.
+func (e *Engine) readSensor() float64 {
+	m := e.cfg.Thermal.Temp(0)
+	for c := 1; c < e.cfg.Platform.NumCores(); c++ {
+		if v := e.cfg.Thermal.Temp(c); v > m {
+			m = v
+		}
+	}
+	if e.cfg.SensorNoise > 0 {
+		m += e.rng.NormFloat64() * e.cfg.SensorNoise
+	}
+	return m
+}
+
+// dtmStep lowers the per-cluster VF cap while the sensor exceeds the trip
+// temperature and releases it gradually below the release temperature.
+func (e *Engine) dtmStep() {
+	switch {
+	case e.sensorT > e.cfg.DTM.TripC:
+		e.tripped = true
+		for ci := range e.dtmCap {
+			if e.dtmCap[ci] > 0 {
+				e.dtmCap[ci]--
+			}
+		}
+	case e.sensorT < e.cfg.DTM.ReleaseC:
+		e.tripped = false
+		for ci, c := range e.cfg.Platform.Clusters {
+			if e.dtmCap[ci] < c.NumOPPs()-1 {
+				e.dtmCap[ci]++
+			}
+		}
+	}
+	if e.tripped {
+		e.mets.throttleSeconds += e.cfg.DTM.Period
+	}
+}
+
+// effFreqIdx returns the requested VF level clamped by the DTM cap.
+func (e *Engine) effFreqIdx(ci int) int {
+	idx := e.freqIdx[ci]
+	if idx > e.dtmCap[ci] {
+		idx = e.dtmCap[ci]
+	}
+	return idx
+}
+
+func (e *Engine) removeFromCore(id AppID, core platform.CoreID) {
+	ids := e.byCore[core]
+	for i, v := range ids {
+		if v == id {
+			e.byCore[core] = append(ids[:i], ids[i+1:]...)
+			return
+		}
+	}
+}
+
+// migrate moves a running application to another core, applying the
+// cold-cache stall penalty.
+func (e *Engine) migrate(id AppID, core platform.CoreID) error {
+	if int(id) < 0 || int(id) >= len(e.apps) {
+		return fmt.Errorf("sim: unknown app %d", id)
+	}
+	a := e.apps[id]
+	if a.done {
+		return fmt.Errorf("sim: app %d already finished", id)
+	}
+	if int(core) < 0 || int(core) >= e.cfg.Platform.NumCores() {
+		return fmt.Errorf("sim: invalid core %d", core)
+	}
+	if core == a.core {
+		return nil // no-op, no penalty
+	}
+	e.removeFromCore(id, a.core)
+	a.core = core
+	e.byCore[core] = append(e.byCore[core], id)
+	ph := a.job.Spec.PhaseAt(a.executed)
+	a.stallUntil = e.now + e.cfg.PenaltyBase + e.cfg.PenaltyPerMPKI*ph.MPKI
+	e.mets.migrations++
+	return nil
+}

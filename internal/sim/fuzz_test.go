@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// chaosManager issues random (but API-valid) knob operations every tick —
+// random migrations, random frequency requests, sporadic overhead charges —
+// to probe engine invariants under adversarial management.
+type chaosManager struct {
+	env *Env
+	rng *rand.Rand
+}
+
+func (m *chaosManager) Name() string    { return "chaos" }
+func (m *chaosManager) Attach(env *Env) { m.env = env }
+func (m *chaosManager) Tick(now float64) {
+	for ci := 0; ci < m.env.Platform().NumClusters(); ci++ {
+		m.env.SetClusterFreqIndex(ci, m.rng.Intn(12)-2) // deliberately out of range sometimes
+	}
+	apps := m.env.Apps()
+	if len(apps) > 0 && m.rng.Float64() < 0.5 {
+		a := apps[m.rng.Intn(len(apps))]
+		_ = m.env.Migrate(a.ID, platform.CoreID(m.rng.Intn(8)))
+	}
+	if m.rng.Float64() < 0.2 {
+		m.env.ChargeOverhead(m.rng.Float64() * 0.01)
+	}
+}
+
+func TestEngineInvariantsUnderChaos(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		cfg := DefaultConfig(seed%2 == 0, 25)
+		cfg.Seed = seed
+		e := New(cfg)
+		pool := workload.MixedPool()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 6; i++ {
+			spec, _ := workload.ByName(pool[rng.Intn(len(pool))])
+			spec.TotalInstr = 1e9 + rng.Float64()*5e9
+			e.AddJob(workload.Job{
+				Spec:    spec,
+				QoS:     rng.Float64() * 2e9,
+				Arrival: rng.Float64() * 5,
+			})
+		}
+		mgr := &chaosManager{rng: rand.New(rand.NewSource(seed + 100))}
+
+		prevInstr := make(map[string]float64)
+		check := func() bool {
+			// Invariant: temperatures bounded and finite.
+			tmp := e.Env().Temp()
+			if math.IsNaN(tmp) || tmp < 20 || tmp > 150 {
+				t.Fatalf("seed %d: sensor %g out of bounds", seed, tmp)
+			}
+			// Invariant: per-app progress is monotone.
+			for i, a := range e.apps {
+				key := string(rune('a' + i))
+				if a.instrTotal < prevInstr[key]-1e-6 {
+					t.Fatalf("seed %d: app %d instructions went backwards", seed, i)
+				}
+				prevInstr[key] = a.instrTotal
+				if a.done && a.executed < a.job.Spec.TotalInstr-1 {
+					t.Fatalf("seed %d: app %d done with %g of %g instructions",
+						seed, i, a.executed, a.job.Spec.TotalInstr)
+				}
+			}
+			// Invariant: requested VF levels are clamped into range.
+			for ci, c := range cfg.Platform.Clusters {
+				idx := e.Env().ClusterFreqIndex(ci)
+				if idx < 0 || idx >= c.NumOPPs() {
+					t.Fatalf("seed %d: cluster %d at level %d", seed, ci, idx)
+				}
+			}
+			return false
+		}
+		res := e.RunUntil(mgr, 30, check)
+
+		// Invariant: accounting is consistent.
+		if res.TotalCPUTime() > res.Duration*8+1e-6 {
+			t.Fatalf("seed %d: CPU time %g exceeds capacity", seed, res.TotalCPUTime())
+		}
+		if res.TotalEnergyJ() <= 0 {
+			t.Fatalf("seed %d: non-positive energy", seed)
+		}
+		for _, a := range res.Apps {
+			if a.MeanIPS < 0 || math.IsNaN(a.MeanIPS) {
+				t.Fatalf("seed %d: bad mean IPS %g", seed, a.MeanIPS)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sample is one time-series point captured by a Recorder.
+type Sample struct {
+	Time     float64
+	Temp     float64 // sensor reading (°C)
+	FreqIdx  []int   // requested VF level per cluster
+	Busy     int     // busy cores
+	Apps     []AppSample
+	Overhead float64 // cumulative management seconds charged so far
+}
+
+// AppSample is the per-application part of a Sample.
+type AppSample struct {
+	ID    AppID
+	Name  string
+	Core  int
+	IPS   float64
+	QoS   float64
+	L2DPS float64
+}
+
+// Recorder captures periodic time series from a running simulation —
+// the data behind the paper's time-resolved plots (e.g. the illustrative
+// mapping traces of Fig. 7). Attach it via Hook to Engine.RunUntil:
+//
+//	rec := sim.NewRecorder(env, 0.5)
+//	engine.RunUntil(mgr, 120, rec.Hook())
+type Recorder struct {
+	env    *Env
+	period float64
+	next   float64
+
+	Samples []Sample
+}
+
+// NewRecorder creates a recorder sampling every `period` seconds.
+func NewRecorder(env *Env, period float64) *Recorder {
+	if env == nil {
+		panic("sim: NewRecorder with nil env")
+	}
+	if period <= 0 {
+		panic("sim: non-positive recorder period")
+	}
+	return &Recorder{env: env, period: period}
+}
+
+// Hook returns a function suitable as the stop callback of RunUntil: it
+// samples at the configured period and never stops the simulation.
+func (r *Recorder) Hook() func() bool {
+	return func() bool {
+		r.Poll()
+		return false
+	}
+}
+
+// Poll takes a sample if the sampling period has elapsed. It is safe to
+// call every tick.
+func (r *Recorder) Poll() {
+	e := r.env.engine
+	if e.now < r.next-1e-9 {
+		return
+	}
+	r.next = e.now + r.period
+
+	s := Sample{
+		Time:     e.now,
+		Temp:     r.env.Temp(),
+		FreqIdx:  append([]int(nil), e.freqIdx...),
+		Overhead: e.mets.overheadCharged,
+	}
+	for _, a := range r.env.Apps() {
+		s.Apps = append(s.Apps, AppSample{
+			ID: a.ID, Name: a.Name, Core: int(a.Core),
+			IPS: a.IPS, QoS: a.QoS, L2DPS: a.L2DPS,
+		})
+		s.Busy++ // one busy core per running app (apps never share here)
+	}
+	// Busy counts occupied cores, not apps, when co-located.
+	occupied := map[int]bool{}
+	for _, a := range s.Apps {
+		occupied[a.Core] = true
+	}
+	s.Busy = len(occupied)
+	r.Samples = append(r.Samples, s)
+}
+
+// WriteCSV writes the recorded series in long form: one row per
+// (sample, application), with platform columns repeated. Rows without
+// running applications still appear once with empty app columns.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"time_s", "temp_c", "busy_cores", "overhead_s"}
+	nClusters := 0
+	if len(r.Samples) > 0 {
+		nClusters = len(r.Samples[0].FreqIdx)
+	}
+	for ci := 0; ci < nClusters; ci++ {
+		header = append(header, fmt.Sprintf("freq_idx_c%d", ci))
+	}
+	header = append(header, "app", "core", "ips", "qos_target", "l2dps")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, s := range r.Samples {
+		base := []string{f(s.Time), f(s.Temp), strconv.Itoa(s.Busy), f(s.Overhead)}
+		for _, idx := range s.FreqIdx {
+			base = append(base, strconv.Itoa(idx))
+		}
+		if len(s.Apps) == 0 {
+			if err := cw.Write(append(base, "", "", "", "", "")); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, a := range s.Apps {
+			row := append(append([]string(nil), base...),
+				a.Name, strconv.Itoa(a.Core), f(a.IPS), f(a.QoS), f(a.L2DPS))
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func TestRecorderSamplesAtPeriod(t *testing.T) {
+	cfg := DefaultConfig(true, 25)
+	e := New(cfg)
+	e.AddJob(job(t, "adi", 1e8, 0, 1e18))
+	rec := NewRecorder(e.Env(), 0.5)
+	e.RunUntil(&fixedManager{little: 8, big: 8}, 10, rec.Hook())
+
+	// 10 s at 0.5 s period → ~20 samples (first at t=0).
+	if n := len(rec.Samples); n < 19 || n > 21 {
+		t.Fatalf("samples = %d, want ~20", n)
+	}
+	for i := 1; i < len(rec.Samples); i++ {
+		dt := rec.Samples[i].Time - rec.Samples[i-1].Time
+		if dt < 0.49 || dt > 0.52 {
+			t.Fatalf("sample %d: period %g, want 0.5", i, dt)
+		}
+	}
+	last := rec.Samples[len(rec.Samples)-1]
+	if len(last.Apps) != 1 || last.Apps[0].Name != "adi" {
+		t.Fatalf("app sample missing: %+v", last.Apps)
+	}
+	if last.Apps[0].IPS <= 0 || last.Temp <= 25 {
+		t.Errorf("degenerate sample: %+v", last)
+	}
+	if last.Busy != 1 {
+		t.Errorf("busy cores = %d, want 1", last.Busy)
+	}
+	if len(last.FreqIdx) != 2 || last.FreqIdx[1] != 8 {
+		t.Errorf("freq indices = %v", last.FreqIdx)
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	cfg := DefaultConfig(true, 25)
+	e := New(cfg)
+	e.AddJob(job(t, "adi", 1e8, 0, 1e18))
+	e.AddJob(job(t, "canneal", 1e8, 2.0, 1e18)) // arrives later
+	rec := NewRecorder(e.Env(), 1.0)
+	e.RunUntil(&fixedManager{little: 8, big: 8}, 5, rec.Hook())
+
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 6 {
+		t.Fatalf("csv rows = %d", len(rows))
+	}
+	header := rows[0]
+	if header[0] != "time_s" || header[4] != "freq_idx_c0" {
+		t.Fatalf("unexpected header: %v", header)
+	}
+	// Early samples have one app row; later ones two (long form).
+	appCol := len(header) - 5
+	seenCanneal := false
+	for _, row := range rows[1:] {
+		if row[appCol] == "canneal" {
+			seenCanneal = true
+		}
+		if _, err := strconv.ParseFloat(row[0], 64); err != nil {
+			t.Fatalf("bad time cell %q", row[0])
+		}
+	}
+	if !seenCanneal {
+		t.Error("second application missing from CSV")
+	}
+}
+
+func TestRecorderEmptySystemRows(t *testing.T) {
+	cfg := DefaultConfig(true, 25)
+	e := New(cfg)
+	rec := NewRecorder(e.Env(), 0.5)
+	e.RunUntil(&fixedManager{little: 0, big: 0}, 2, rec.Hook())
+	if len(rec.Samples) == 0 {
+		t.Fatal("no samples on idle system")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rec.Samples)+1 {
+		t.Errorf("rows = %d, want %d (one per empty sample + header)",
+			len(rows), len(rec.Samples)+1)
+	}
+}
+
+func TestRecorderPanics(t *testing.T) {
+	e := New(DefaultConfig(true, 25))
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("nil env", func() { NewRecorder(nil, 1) })
+	mustPanic("zero period", func() { NewRecorder(e.Env(), 0) })
+}
+
+func TestRecorderTracksMigration(t *testing.T) {
+	cfg := DefaultConfig(true, 25)
+	e := New(cfg)
+	e.AddJob(job(t, "swaptions", 1e8, 0, 1e18))
+	rec := NewRecorder(e.Env(), 0.2)
+	e.RunUntil(&fixedManager{little: 8, big: 8}, 1, rec.Hook())
+	id := e.Env().Apps()[0].ID
+	from := e.Env().Apps()[0].Core
+	to := from + 1
+	if int(to) >= 8 {
+		to = from - 1
+	}
+	if err := e.Env().Migrate(id, to); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(&fixedManager{little: 8, big: 8}, 1, rec.Hook())
+	cores := map[int]bool{}
+	for _, s := range rec.Samples {
+		for _, a := range s.Apps {
+			cores[a.Core] = true
+		}
+	}
+	if !cores[int(from)] || !cores[int(to)] {
+		t.Errorf("recorder missed migration: cores seen %v", cores)
+	}
+}

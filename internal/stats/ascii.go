@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Terminal visualization helpers: the paper communicates its evaluation as
+// figures; these render the same series as ASCII bars/sparklines so the
+// experiment reports stay readable without a plotting stack.
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders xs as a unicode sparkline, scaling min..max onto eight
+// levels. Constant series render mid-level; empty series render "".
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := Min(xs), Max(xs)
+	var b strings.Builder
+	for _, x := range xs {
+		idx := len(sparkLevels) / 2
+		if hi > lo {
+			idx = int((x - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// BarChart renders labeled horizontal bars scaled to width characters,
+// annotated with the formatted value.
+func BarChart(labels []string, values []float64, width int, format string) string {
+	if len(labels) != len(values) {
+		panic("stats: BarChart label/value length mismatch")
+	}
+	if len(values) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 40
+	}
+	hi := Max(values)
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if hi > 0 {
+			n = int(v / hi * float64(width))
+		}
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-*s %s%s %s\n", labelW, labels[i],
+			strings.Repeat("█", n), strings.Repeat("·", width-n),
+			fmt.Sprintf(format, v))
+	}
+	return b.String()
+}

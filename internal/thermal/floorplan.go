@@ -1,0 +1,164 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Floorplan support: derive an RC network from die geometry instead of
+// hand-picked conductances, in the spirit of compact thermal models such as
+// HotSpot. Each rectangular block becomes one node; lateral conductances
+// follow shared edge length and center distance, vertical conductance and
+// heat capacity follow block area. The hand-calibrated HiKey970Network
+// remains the default for experiments; the floorplan path exists to justify
+// its parameters and to model other chips.
+
+// Block is one rectangular floorplan unit (dimensions in millimetres).
+type Block struct {
+	Name string
+	X, Y float64 // lower-left corner, mm
+	W, H float64 // width and height, mm
+}
+
+// Area returns the block area in mm².
+func (b Block) Area() float64 { return b.W * b.H }
+
+// center returns the block's center coordinates.
+func (b Block) center() (float64, float64) { return b.X + b.W/2, b.Y + b.H/2 }
+
+// sharedEdge returns the length (mm) of the boundary shared by two blocks,
+// 0 if they only touch at a corner or are apart. Blocks are assumed
+// non-overlapping.
+func sharedEdge(a, b Block) float64 {
+	const eps = 1e-9
+	// Vertical adjacency (a right edge touching b left edge, either order).
+	if math.Abs((a.X+a.W)-b.X) < eps || math.Abs((b.X+b.W)-a.X) < eps {
+		lo := math.Max(a.Y, b.Y)
+		hi := math.Min(a.Y+a.H, b.Y+b.H)
+		if hi > lo {
+			return hi - lo
+		}
+	}
+	// Horizontal adjacency.
+	if math.Abs((a.Y+a.H)-b.Y) < eps || math.Abs((b.Y+b.H)-a.Y) < eps {
+		lo := math.Max(a.X, b.X)
+		hi := math.Min(a.X+a.W, b.X+b.W)
+		if hi > lo {
+			return hi - lo
+		}
+	}
+	return 0
+}
+
+// FloorplanConfig holds the material/package parameters of the compact
+// model.
+type FloorplanConfig struct {
+	// KLateral is the effective lateral conductance per unit
+	// (edge length / center distance), in W/K. It lumps silicon
+	// conductivity and die thickness.
+	KLateral float64
+	// KVerticalPerArea is the block-to-package conductance per mm², W/(K·mm²).
+	KVerticalPerArea float64
+	// CapPerArea is the per-block heat capacity per mm², J/(K·mm²). It
+	// lumps silicon and the immediately attached package mass.
+	CapPerArea float64
+	// PkgCap is the package/board node heat capacity, J/K.
+	PkgCap float64
+	// PkgToAmb is the package-to-ambient convection conductance, W/K.
+	PkgToAmb float64
+	// TAmb is the ambient temperature, °C.
+	TAmb float64
+}
+
+// DefaultFloorplanConfig returns parameters calibrated so that the
+// HiKey970Floorplan reproduces the hand-tuned HiKey970Network's behaviour:
+// with a fan, ≈4 K/W package-to-ambient.
+func DefaultFloorplanConfig(fan bool, tAmb float64) FloorplanConfig {
+	cfg := FloorplanConfig{
+		KLateral:         0.35,
+		KVerticalPerArea: 0.25,
+		CapPerArea:       0.075,
+		PkgCap:           12,
+		PkgToAmb:         0.25,
+		TAmb:             tAmb,
+	}
+	if !fan {
+		cfg.PkgToAmb = 0.11
+	}
+	return cfg
+}
+
+// FromFloorplan builds an RC network with one node per block plus a final
+// package node (index len(blocks), exposed by the returned pkg index).
+// Blocks must not overlap; only adjacency (shared edges) produces lateral
+// coupling.
+func FromFloorplan(blocks []Block, cfg FloorplanConfig) (n *Network, pkg int) {
+	if len(blocks) == 0 {
+		panic("thermal: empty floorplan")
+	}
+	for i, b := range blocks {
+		if b.W <= 0 || b.H <= 0 {
+			panic(fmt.Sprintf("thermal: block %d (%s) has non-positive size", i, b.Name))
+		}
+	}
+	for i := range blocks {
+		for j := i + 1; j < len(blocks); j++ {
+			if overlap(blocks[i], blocks[j]) {
+				panic(fmt.Sprintf("thermal: blocks %s and %s overlap",
+					blocks[i].Name, blocks[j].Name))
+			}
+		}
+	}
+
+	nodes := make([]Node, len(blocks)+1)
+	for i, b := range blocks {
+		nodes[i] = Node{Name: b.Name, Cap: cfg.CapPerArea * b.Area()}
+	}
+	pkg = len(blocks)
+	nodes[pkg] = Node{Name: "package", Cap: cfg.PkgCap}
+
+	n = NewNetwork(nodes, cfg.TAmb)
+	for i, b := range blocks {
+		n.AddCoupling(i, pkg, cfg.KVerticalPerArea*b.Area())
+		for j := i + 1; j < len(blocks); j++ {
+			edge := sharedEdge(b, blocks[j])
+			if edge <= 0 {
+				continue
+			}
+			xi, yi := b.center()
+			xj, yj := blocks[j].center()
+			dist := math.Hypot(xi-xj, yi-yj)
+			n.AddCoupling(i, j, cfg.KLateral*edge/dist)
+		}
+	}
+	n.SetAmbientCoupling(pkg, cfg.PkgToAmb)
+	return n, pkg
+}
+
+// overlap reports whether two blocks' interiors intersect.
+func overlap(a, b Block) bool {
+	const eps = 1e-9
+	return a.X+a.W > b.X+eps && b.X+b.W > a.X+eps &&
+		a.Y+a.H > b.Y+eps && b.Y+b.H > a.Y+eps
+}
+
+// HiKey970Floorplan returns an approximate Kirin 970 CPU-corner floorplan:
+// four A53 cores (~1 mm² each) in a row, four A73 cores (~2 mm² each) in a
+// row above them. Blocks 0-3 are the LITTLE cores, 4-7 the big cores,
+// matching the engine's core numbering.
+func HiKey970Floorplan() []Block {
+	blocks := make([]Block, 8)
+	for i := 0; i < 4; i++ {
+		blocks[i] = Block{
+			Name: fmt.Sprintf("little%d", i),
+			X:    float64(i) * 1.0, Y: 0, W: 1.0, H: 1.0,
+		}
+	}
+	for i := 0; i < 4; i++ {
+		blocks[4+i] = Block{
+			Name: fmt.Sprintf("big%d", i),
+			X:    float64(i) * 1.45, Y: 1.0, W: 1.45, H: 1.4,
+		}
+	}
+	return blocks
+}

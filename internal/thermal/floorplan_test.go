@@ -1,0 +1,129 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSharedEdge(t *testing.T) {
+	a := Block{Name: "a", X: 0, Y: 0, W: 1, H: 1}
+	cases := []struct {
+		name string
+		b    Block
+		want float64
+	}{
+		{"right neighbour", Block{X: 1, Y: 0, W: 1, H: 1}, 1},
+		{"right partial", Block{X: 1, Y: 0.5, W: 1, H: 1}, 0.5},
+		{"top neighbour", Block{X: 0, Y: 1, W: 2, H: 1}, 1},
+		{"corner only", Block{X: 1, Y: 1, W: 1, H: 1}, 0},
+		{"apart", Block{X: 3, Y: 0, W: 1, H: 1}, 0},
+	}
+	for _, c := range cases {
+		if got := sharedEdge(a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: edge = %g, want %g", c.name, got, c.want)
+		}
+		// Symmetry.
+		if got := sharedEdge(c.b, a); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s (swapped): edge = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFromFloorplanBasics(t *testing.T) {
+	blocks := HiKey970Floorplan()
+	if len(blocks) != 8 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	n, pkg := FromFloorplan(blocks, DefaultFloorplanConfig(true, 25))
+	if pkg != 8 || len(n.Nodes) != 9 {
+		t.Fatalf("pkg=%d nodes=%d", pkg, len(n.Nodes))
+	}
+	// Big blocks have larger capacity than LITTLE blocks.
+	if n.Nodes[4].Cap <= n.Nodes[0].Cap {
+		t.Errorf("big cap %g not above LITTLE cap %g", n.Nodes[4].Cap, n.Nodes[0].Cap)
+	}
+}
+
+func TestFloorplanReproducesCalibratedBehaviour(t *testing.T) {
+	// The geometry-derived network must show the same qualitative
+	// behaviour as the hand-calibrated preset.
+	fp, _ := FromFloorplan(HiKey970Floorplan(), DefaultFloorplanConfig(true, 25))
+	hand := HiKey970Network(true, 25)
+
+	probe := func(n *Network, core int, w float64) float64 {
+		p := make([]float64, len(n.Nodes))
+		p[core] = w
+		return n.SteadyState(p)[core] - 25
+	}
+	// 1. LITTLE cores rise more per watt than big cores (smaller area).
+	if probe(fp, 0, 1) <= probe(fp, 4, 1) {
+		t.Error("floorplan: LITTLE per-watt rise not above big's")
+	}
+	// 2. Neighbour coupling: heating big0 (node 4) warms big1 (node 5)
+	// more than the distant little3.
+	p := make([]float64, 9)
+	p[4] = 3
+	ss := fp.SteadyState(p)
+	if ss[5] <= ss[3] {
+		t.Errorf("floorplan: neighbour %g not hotter than distant %g", ss[5], ss[3])
+	}
+	// 3. Per-watt core rises within 2.5x of the hand-calibrated preset.
+	for _, core := range []int{0, 4} {
+		f, h := probe(fp, core, 1.5), probe(hand, core, 1.5)
+		if ratio := f / h; ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("core %d: floorplan rise %g vs calibrated %g (ratio %g)",
+				core, f, h, ratio)
+		}
+	}
+}
+
+func TestFloorplanFanMatters(t *testing.T) {
+	p := make([]float64, 9)
+	p[4], p[5] = 2, 2
+	fan, _ := FromFloorplan(HiKey970Floorplan(), DefaultFloorplanConfig(true, 25))
+	noFan, _ := FromFloorplan(HiKey970Floorplan(), DefaultFloorplanConfig(false, 25))
+	if noFan.SteadyState(p)[8] <= fan.SteadyState(p)[8] {
+		t.Error("passive cooling not hotter than active")
+	}
+}
+
+func TestFromFloorplanPanics(t *testing.T) {
+	cfg := DefaultFloorplanConfig(true, 25)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty", func() { FromFloorplan(nil, cfg) })
+	mustPanic("zero size", func() {
+		FromFloorplan([]Block{{Name: "x", W: 0, H: 1}}, cfg)
+	})
+	mustPanic("overlap", func() {
+		FromFloorplan([]Block{
+			{Name: "a", X: 0, Y: 0, W: 2, H: 2},
+			{Name: "b", X: 1, Y: 1, W: 2, H: 2},
+		}, cfg)
+	})
+}
+
+func TestFloorplanUsableBySimulation(t *testing.T) {
+	// The floorplan network slots into the same integration loop.
+	n, pkg := FromFloorplan(HiKey970Floorplan(), DefaultFloorplanConfig(true, 25))
+	p := make([]float64, len(n.Nodes))
+	p[6] = 3
+	p[pkg] = 0.5
+	// The package time constant is ~50 s; integrate well past it.
+	for i := 0; i < 800; i++ {
+		n.Step(p, 0.5)
+	}
+	want := n.SteadyState(p)
+	for i, v := range n.Temps() {
+		if math.Abs(v-want[i]) > 0.5 {
+			t.Errorf("node %d: %g vs steady %g", i, v, want[i])
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package validate runs calibration self-checks over the simulation
+// substrate: the physical invariants every platform model must satisfy for
+// the management-policy comparison to be meaningful. The checks encode the
+// platform properties the paper's arguments rely on (e.g. per-application
+// big-vs-LITTLE asymmetry, DVFS-insensitive memory-bound applications,
+// fan-dependent cooling). cmd/topil-validate prints a report; the test
+// suite asserts all checks pass for the shipped models.
+package validate
+
+import (
+	"fmt"
+
+	"repro/internal/perf"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Result is the outcome of one check.
+type Result struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// All runs every check against the default HiKey970 models and catalog.
+func All() []Result {
+	var out []Result
+	run := func(name string, f func() error) {
+		r := Result{Name: name, OK: true, Detail: "ok"}
+		if err := f(); err != nil {
+			r.OK = false
+			r.Detail = err.Error()
+		}
+		out = append(out, r)
+	}
+	run("platform/opp-ladders", checkPlatform)
+	run("perf/frequency-monotonic", checkPerfMonotonic)
+	run("perf/big-dominates-at-equal-freq", checkBigDominates)
+	run("perf/memory-bound-flatness", checkMemoryBound)
+	run("perf/big-little-asymmetry-spread", checkAsymmetrySpread)
+	run("power/ranges", checkPowerRanges)
+	run("power/leakage-temperature-feedback", checkLeakage)
+	run("thermal/fan-ordering", checkFanOrdering)
+	run("thermal/steady-state-bounds", checkThermalBounds)
+	run("thermal/spatial-coupling", checkSpatialCoupling)
+	run("sim/instruction-conservation", checkConservation)
+	run("sim/determinism", checkDeterminism)
+	return out
+}
+
+// Failed returns the subset of failed results.
+func Failed(rs []Result) []Result {
+	var out []Result
+	for _, r := range rs {
+		if !r.OK {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func checkPlatform() error {
+	p := platform.HiKey970()
+	if p.NumCores() != 8 || p.NumClusters() != 2 {
+		return fmt.Errorf("topology %d cores / %d clusters", p.NumCores(), p.NumClusters())
+	}
+	for ci, c := range p.Clusters {
+		for i := 1; i < c.NumOPPs(); i++ {
+			if c.FreqAt(i) <= c.FreqAt(i-1) || c.VoltageAt(i) < c.VoltageAt(i-1) {
+				return fmt.Errorf("cluster %d: OPP ladder not monotone at %d", ci, i)
+			}
+		}
+	}
+	return nil
+}
+
+func checkPerfMonotonic() error {
+	m := perf.Default()
+	for _, spec := range workload.Catalog() {
+		for _, ph := range spec.Phases {
+			prev := 0.0
+			for f := 0.5e9; f <= 2.4e9; f += 0.05e9 {
+				v := m.IPS(ph, platform.Big, f, 1)
+				if v <= prev {
+					return fmt.Errorf("%s: IPS not increasing at %g Hz", spec.Name, f)
+				}
+				prev = v
+			}
+		}
+	}
+	return nil
+}
+
+func checkBigDominates() error {
+	m := perf.Default()
+	for _, spec := range workload.Catalog() {
+		for i, ph := range spec.Phases {
+			if m.IPS(ph, platform.Big, 1.2e9, 1) <= m.IPS(ph, platform.Little, 1.2e9, 1) {
+				return fmt.Errorf("%s phase %d: big not faster at equal frequency", spec.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+func checkMemoryBound() error {
+	m := perf.Default()
+	spec, _ := workload.ByName("canneal")
+	lo := m.IPS(spec.Phases[0], platform.Big, 682e6, 1)
+	hi := m.IPS(spec.Phases[0], platform.Big, 2362e6, 1)
+	if hi/lo > 2.2 {
+		return fmt.Errorf("canneal frequency sensitivity %0.2f, want < 2.2", hi/lo)
+	}
+	return nil
+}
+
+// checkAsymmetrySpread verifies the catalog spans a meaningful range of
+// big-vs-LITTLE benefit — the diversity the migration policy exploits.
+func checkAsymmetrySpread() error {
+	m := perf.Default()
+	minR, maxR := 1e9, 0.0
+	for _, spec := range workload.Catalog() {
+		r := m.IPS(spec.Phases[0], platform.Big, 1.2e9, 1) /
+			m.IPS(spec.Phases[0], platform.Little, 1.2e9, 1)
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR-minR < 0.5 {
+		return fmt.Errorf("big/LITTLE speedup spread %0.2f-%0.2f too narrow", minR, maxR)
+	}
+	return nil
+}
+
+func checkPowerRanges() error {
+	pm := power.Default()
+	p := platform.HiKey970()
+	big, _ := p.ClusterByKind(platform.Big)
+	little, _ := p.ClusterByKind(platform.Little)
+	pb := pm.Dynamic(platform.Big, big.MaxFreq(), big.VoltageAt(big.NumOPPs()-1), 1)
+	pl := pm.Dynamic(platform.Little, little.MaxFreq(), little.VoltageAt(little.NumOPPs()-1), 1)
+	if pb < 2 || pb > 5 {
+		return fmt.Errorf("big peak %0.2f W outside [2,5]", pb)
+	}
+	if pl < 0.3 || pl > 1.2 {
+		return fmt.Errorf("LITTLE peak %0.2f W outside [0.3,1.2]", pl)
+	}
+	return nil
+}
+
+func checkLeakage() error {
+	pm := power.Default()
+	if pm.Leakage(platform.Big, 1.0, 85) <= pm.Leakage(platform.Big, 1.0, 25) {
+		return fmt.Errorf("leakage not increasing with temperature")
+	}
+	return nil
+}
+
+func checkFanOrdering() error {
+	p := make([]float64, 9)
+	p[5], p[6] = 2.5, 2.5
+	fan := thermal.HiKey970Network(true, 25).SteadyState(p)
+	noFan := thermal.HiKey970Network(false, 25).SteadyState(p)
+	for i := range fan {
+		if noFan[i] < fan[i] {
+			return fmt.Errorf("node %d cooler without fan", i)
+		}
+	}
+	return nil
+}
+
+func checkThermalBounds() error {
+	p := make([]float64, 9)
+	for i := 0; i < 8; i++ {
+		p[i] = 3.5
+	}
+	p[8] = 1
+	ss := thermal.HiKey970Network(false, 25).SteadyState(p)
+	for i, v := range ss {
+		if v < 25 || v > 400 {
+			return fmt.Errorf("node %d steady state %0.1f implausible", i, v)
+		}
+	}
+	return nil
+}
+
+func checkSpatialCoupling() error {
+	n := thermal.HiKey970Network(true, 25)
+	p := make([]float64, 9)
+	p[4] = 3
+	ss := n.SteadyState(p)
+	if ss[5] <= ss[0] {
+		return fmt.Errorf("neighbour coupling weaker than distant coupling")
+	}
+	return nil
+}
+
+func checkConservation() error {
+	cfg := sim.DefaultConfig(true, 25)
+	e := sim.New(cfg)
+	spec, _ := workload.ByName("syr2k")
+	spec.TotalInstr = 2e9
+	e.AddJob(workload.Job{Spec: spec, QoS: 0})
+	res := e.Run(&pin{}, 10)
+	a := res.Apps[0]
+	if !a.Finished {
+		return fmt.Errorf("app did not finish")
+	}
+	got := a.MeanIPS * a.ActiveSecs
+	if diff := got - 2e9; diff > 2e7 || diff < -2e7 {
+		return fmt.Errorf("executed %g instructions, want 2e9", got)
+	}
+	return nil
+}
+
+func checkDeterminism() error {
+	runOnce := func() (float64, int) {
+		cfg := sim.DefaultConfig(true, 25)
+		cfg.Seed = 9
+		e := sim.New(cfg)
+		pm := perf.Default()
+		gen := workload.NewGenerator(9, workload.MixedPool(), func(s workload.AppSpec) float64 {
+			return pm.PeakIPS(cfg.Platform, s)
+		}, 0.2, 0.7, 0.01)
+		e.AddJobs(gen.Generate(5, 0.5))
+		r := e.Run(&pin{}, 15)
+		return r.AvgTemp, r.Violations
+	}
+	t1, v1 := runOnce()
+	t2, v2 := runOnce()
+	if t1 != t2 || v1 != v2 {
+		return fmt.Errorf("two identical runs diverged")
+	}
+	return nil
+}
+
+// pin is a trivial manager pinning both clusters at max.
+type pin struct{ env *sim.Env }
+
+func (m *pin) Name() string        { return "validate-pin" }
+func (m *pin) Attach(env *sim.Env) { m.env = env }
+func (m *pin) Tick(now float64) {
+	for ci := 0; ci < m.env.Platform().NumClusters(); ci++ {
+		m.env.SetClusterFreqIndex(ci, 99)
+	}
+}

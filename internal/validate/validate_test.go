@@ -1,0 +1,30 @@
+package validate
+
+import "testing"
+
+func TestAllChecksPass(t *testing.T) {
+	results := All()
+	if len(results) != 12 {
+		t.Fatalf("checks = %d, want 12", len(results))
+	}
+	for _, r := range results {
+		if !r.OK {
+			t.Errorf("%s: %s", r.Name, r.Detail)
+		}
+	}
+	if failed := Failed(results); len(failed) != 0 {
+		t.Errorf("Failed() reports %d failures", len(failed))
+	}
+}
+
+func TestFailedFilters(t *testing.T) {
+	rs := []Result{
+		{Name: "a", OK: true},
+		{Name: "b", OK: false, Detail: "boom"},
+		{Name: "c", OK: true},
+	}
+	f := Failed(rs)
+	if len(f) != 1 || f[0].Name != "b" {
+		t.Errorf("Failed = %+v", f)
+	}
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// jobJSON is the on-disk form of a Job: benchmarks are stored by name plus
+// the (possibly scaled) instruction count, so saved workloads survive
+// catalog recalibrations of per-phase parameters.
+type jobJSON struct {
+	Name       string  `json:"name"`
+	TotalInstr float64 `json:"totalInstr"`
+	QoS        float64 `json:"qos"`
+	Arrival    float64 `json:"arrival"`
+}
+
+// SaveJobs writes a job list as JSON for reproducible experiments.
+func SaveJobs(jobs []Job, path string) error {
+	out := make([]jobJSON, len(jobs))
+	for i, j := range jobs {
+		out[i] = jobJSON{
+			Name:       j.Spec.Name,
+			TotalInstr: j.Spec.TotalInstr,
+			QoS:        j.QoS,
+			Arrival:    j.Arrival,
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadJobs reads a job list written by SaveJobs, resolving benchmarks
+// against the current catalog.
+func LoadJobs(path string) ([]Job, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var in []jobJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("workload: parsing %s: %w", path, err)
+	}
+	jobs := make([]Job, 0, len(in))
+	for i, j := range in {
+		spec, ok := ByName(j.Name)
+		if !ok {
+			return nil, fmt.Errorf("workload: %s: job %d: unknown benchmark %q", path, i, j.Name)
+		}
+		if j.TotalInstr <= 0 {
+			return nil, fmt.Errorf("workload: %s: job %d: bad instruction count", path, i)
+		}
+		spec.TotalInstr = j.TotalInstr
+		jobs = append(jobs, Job{Spec: spec, QoS: j.QoS, Arrival: j.Arrival})
+	}
+	return jobs, nil
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJobsSaveLoadRoundTrip(t *testing.T) {
+	peak := func(AppSpec) float64 { return 4e9 }
+	jobs := NewGenerator(9, MixedPool(), peak, 0.2, 0.7, 0.5).Generate(12, 0.1)
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	if err := SaveJobs(jobs, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJobs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("loaded %d jobs, want %d", len(back), len(jobs))
+	}
+	for i := range jobs {
+		if jobs[i].Spec.Name != back[i].Spec.Name ||
+			jobs[i].Spec.TotalInstr != back[i].Spec.TotalInstr ||
+			jobs[i].QoS != back[i].QoS ||
+			jobs[i].Arrival != back[i].Arrival {
+			t.Fatalf("job %d differs after round trip:\n%+v\n%+v", i, jobs[i], back[i])
+		}
+		// Phases come from the live catalog.
+		if len(back[i].Spec.Phases) == 0 {
+			t.Fatalf("job %d lost phases", i)
+		}
+	}
+}
+
+func TestLoadJobsErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadJobs(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := LoadJobs(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	unknown := filepath.Join(dir, "unknown.json")
+	os.WriteFile(unknown, []byte(`[{"name":"nope","totalInstr":1,"qos":1,"arrival":0}]`), 0o644)
+	if _, err := LoadJobs(unknown); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	zero := filepath.Join(dir, "zero.json")
+	os.WriteFile(zero, []byte(`[{"name":"adi","totalInstr":0,"qos":1,"arrival":0}]`), 0o644)
+	if _, err := LoadJobs(zero); err == nil {
+		t.Error("zero instruction count accepted")
+	}
+}
