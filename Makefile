@@ -1,0 +1,26 @@
+# Development targets. `make check` is the default verify flow:
+# build + vet + full tests + race pass over the concurrent packages.
+
+GO ?= go
+
+.PHONY: check build vet test race serve-smoke
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The serving subsystem is concurrency-heavy; always race-check it together
+# with the inference substrate it shares models with.
+race:
+	$(GO) test -race ./internal/serve/... ./internal/npu/... ./internal/nn/...
+
+# Quick end-to-end: build the service and exercise one infer round trip.
+serve-smoke:
+	./scripts/check.sh smoke

@@ -29,6 +29,7 @@ func main() {
 	log.SetPrefix("topil-oracle: ")
 	if len(os.Args) < 2 {
 		usage()
+		os.Exit(2)
 	}
 	switch os.Args[1] {
 	case "collect":
@@ -37,14 +38,16 @@ func main() {
 		extract(os.Args[2:])
 	case "inspect":
 		inspect(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
 	default:
 		usage()
+		os.Exit(2)
 	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: topil-oracle collect|extract|inspect [flags]")
-	os.Exit(2)
 }
 
 func collect(args []string) {

@@ -1,0 +1,121 @@
+// Command topil-serve runs the simulation & policy-inference service: a
+// long-lived HTTP server that answers TOP-IL placement queries through a
+// batched NPU-style inference frontend and executes full managed
+// simulations as asynchronous jobs on a bounded worker pool.
+//
+//	topil-serve -addr :8080 -models artifacts
+//
+// Endpoints (see the README's Serving section for a full curl session):
+//
+//	GET    /v1/healthz     liveness
+//	GET    /v1/models      models available in -models
+//	POST   /v1/infer       batched inference against a named model
+//	POST   /v1/sim         enqueue a simulation job (202 + job ID)
+//	GET    /v1/jobs        list jobs
+//	GET    /v1/jobs/{id}   poll one job
+//	DELETE /v1/jobs/{id}   cancel a job
+//	GET    /v1/stats       per-endpoint, batcher and worker-pool metrics
+//
+// On SIGINT/SIGTERM the server stops accepting work and drains: accepted
+// inference requests are answered and in-flight simulation jobs run to
+// completion until -drain expires, at which point they are canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topil-serve: ")
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "topil-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		models    = flag.String("models", "artifacts", "model artifacts directory (<name>.json)")
+		workers   = flag.Int("workers", runtime.NumCPU(), "simulation worker pool size")
+		queueCap  = flag.Int("queue", 0, "simulation job queue capacity (default 4x workers)")
+		batchMax  = flag.Int("batch", 16, "max inference batch size (one NPU wave)")
+		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "max time a request waits to coalesce")
+		inferCap  = flag.Int("infer-queue", 256, "pending inference submissions bound")
+		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+	if *workers <= 0 {
+		return fmt.Errorf("-workers must be positive")
+	}
+	if *batchMax <= 0 || *batchWait <= 0 || *inferCap <= 0 {
+		return fmt.Errorf("-batch, -batch-wait and -infer-queue must be positive")
+	}
+	if info, err := os.Stat(*models); err != nil {
+		return fmt.Errorf("models directory: %v", err)
+	} else if !info.IsDir() {
+		return fmt.Errorf("models path %s is not a directory", *models)
+	}
+
+	srv := serve.NewServer(serve.Config{
+		ModelsDir: *models,
+		Workers:   *workers,
+		QueueCap:  *queueCap,
+		Batch: serve.BatcherConfig{
+			MaxBatch: *batchMax,
+			MaxWait:  *batchWait,
+			QueueCap: *inferCap,
+		},
+	})
+	if names, err := srv.Registry().List(); err == nil {
+		log.Printf("serving %d model(s) from %s: %v", len(names), *models, names)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (%d workers, batch %d/%v)",
+			*addr, *workers, *batchMax, *batchWait)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received: draining (budget %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	srv.Shutdown(drainCtx)
+	log.Print("drained, bye")
+	return <-errCh
+}

@@ -26,7 +26,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("topil-sim: ")
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "topil-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
 
+func run() error {
 	var (
 		technique = flag.String("technique", "TOP-IL", "TOP-IL | TOP-RL | GTS/ondemand | GTS/powersave")
 		modelPath = flag.String("model", "", "trained IL model JSON (TOP-IL)")
@@ -42,13 +48,19 @@ func main() {
 		saveJobs  = flag.String("save-workload", "", "save the generated job list JSON")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+	if *jobs <= 0 || *rate <= 0 || *dur <= 0 || *instr <= 0 {
+		return fmt.Errorf("-jobs, -rate, -duration and -instr-scale must be positive")
+	}
 
 	p := experiments.NewPipeline(experiments.QuickScale())
 	p.Progress = func(msg string) { log.Print(msg) }
 
 	mgr, err := buildManager(p, *technique, *modelPath, *qtPath, *seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	cfg := sim.DefaultConfig(*fan, 25)
@@ -58,7 +70,7 @@ func main() {
 	if *loadJobs != "" {
 		jobList, err = workload.LoadJobs(*loadJobs)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("loaded %d jobs from %s", len(jobList), *loadJobs)
 	} else {
@@ -67,14 +79,14 @@ func main() {
 	}
 	if *saveJobs != "" {
 		if err := workload.SaveJobs(jobList, *saveJobs); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("job list saved to %s", *saveJobs)
 	}
 	e.AddJobs(jobList)
 
 	log.Printf("running %s on %d jobs (rate %.2f/s, fan=%v) for %.0f s",
-		mgr.Name(), *jobs, *rate, *fan, *dur)
+		mgr.Name(), len(jobList), *rate, *fan, *dur)
 	var rec *sim.Recorder
 	var hook func() bool
 	if *csvPath != "" {
@@ -85,13 +97,14 @@ func main() {
 	if rec != nil {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := rec.WriteCSV(f); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("time series written to %s (%d samples)", *csvPath, len(rec.Samples))
 	}
@@ -115,6 +128,7 @@ func main() {
 		fmt.Printf("  %-16s target %6.2f GIPS, achieved %6.2f GIPS  %s\n",
 			a.Name, a.QoS/1e9, a.MeanIPS/1e9, status)
 	}
+	return nil
 }
 
 // buildManager assembles the requested technique, loading artifacts when

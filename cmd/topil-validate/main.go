@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -13,6 +14,11 @@ import (
 )
 
 func main() {
+	flag.Parse() // no flags yet; gives -h a sane answer
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "topil-validate: unexpected arguments: %v\n", flag.Args())
+		os.Exit(1)
+	}
 	results := validate.All()
 	for _, r := range results {
 		status := "PASS"

@@ -1,0 +1,124 @@
+package repro_test
+
+// CLI smoke tests: every cmd/ binary must build, answer -h with exit 0,
+// reject unknown flags with a non-zero exit, and report bad inputs as a
+// single-line error on stderr (no panics, no stack traces).
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCommands compiles every cmd/ binary into a temp dir once.
+func buildCommands(t *testing.T) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := make(map[string]string)
+	dir := t.TempDir()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		bins[name] = out
+	}
+	if len(bins) == 0 {
+		t.Fatal("no cmd/ binaries found")
+	}
+	return bins
+}
+
+// runBin executes a binary and returns its exit code and stderr.
+func runBin(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &bytes.Buffer{}
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stderr.String()
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), stderr.String()
+	}
+	t.Fatalf("running %s: %v", bin, err)
+	return -1, ""
+}
+
+func TestCommandsHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCommands(t)
+	for name, bin := range bins {
+		code, stderr := runBin(t, bin, "-h")
+		if code != 0 {
+			t.Errorf("%s -h exited %d", name, code)
+		}
+		if !strings.Contains(stderr, "Usage") && !strings.Contains(stderr, "-") {
+			t.Errorf("%s -h printed no usage:\n%s", name, stderr)
+		}
+
+		code, _ = runBin(t, bin, "-definitely-not-a-flag")
+		if code == 0 {
+			t.Errorf("%s accepted an unknown flag", name)
+		}
+	}
+}
+
+// oneLine asserts a single-line error of the form "<name>: ...".
+func oneLine(t *testing.T, name, stderr string) {
+	t.Helper()
+	trimmed := strings.TrimRight(stderr, "\n")
+	if trimmed == "" || strings.Contains(trimmed, "\n") || strings.Contains(stderr, "goroutine") {
+		t.Errorf("%s error is not a single line:\n%s", name, stderr)
+	}
+	if !strings.HasPrefix(trimmed, name+":") {
+		t.Errorf("%s error %q lacks the command prefix", name, trimmed)
+	}
+}
+
+func TestCommandsFailCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCommands(t)
+
+	cases := []struct {
+		bin  string
+		args []string
+	}{
+		{"topil-sim", []string{"-technique", "TOP-IL", "-model", "/nonexistent/model.json"}},
+		{"topil-sim", []string{"-jobs", "-4"}},
+		{"topil-sim", []string{"-technique", "GTS/ondemand", "-workload", "/nonexistent/jobs.json"}},
+		{"topil-serve", []string{"-models", "/nonexistent/dir"}},
+		{"topil-serve", []string{"-workers", "-1"}},
+	}
+	for _, c := range cases {
+		bin, ok := bins[c.bin]
+		if !ok {
+			t.Fatalf("binary %s not built", c.bin)
+		}
+		code, stderr := runBin(t, bin, c.args...)
+		if code != 1 {
+			t.Errorf("%s %v exited %d, want 1\n%s", c.bin, c.args, code, stderr)
+			continue
+		}
+		// Progress logs share stderr; the error is the last line.
+		lines := strings.Split(strings.TrimRight(stderr, "\n"), "\n")
+		oneLine(t, c.bin, lines[len(lines)-1])
+	}
+}

@@ -20,6 +20,7 @@
 //	internal/{nn,npu,features,oracle}                    learning substrate
 //	internal/{rl,governor}                               baselines
 //	internal/experiments  every figure of the evaluation
+//	internal/serve        HTTP service: batched inference + sim job pool
 //	cmd/...               train / simulate / reproduce-all tools
 //	examples/...          runnable API demos
 //

@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPredict hammers one shared model with Predict and
+// PredictBatch from many goroutines and checks every result against a
+// single-threaded baseline. Run with -race: it is the executable form of
+// the package's concurrency guarantee (forward passes are read-only), which
+// the serve batcher depends on.
+func TestConcurrentPredict(t *testing.T) {
+	m := NewMLP([]int{21, 64, 64, 8}, 1)
+	rng := rand.New(rand.NewSource(2))
+	const nInputs = 32
+	inputs := make([][]float64, nInputs)
+	for i := range inputs {
+		inputs[i] = make([]float64, 21)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.NormFloat64()
+		}
+	}
+	want := make([][]float64, nInputs)
+	for i, x := range inputs {
+		want[i] = m.Predict(x)
+	}
+
+	const goroutines = 16
+	const rounds = 50
+	var wg sync.WaitGroup
+	errCh := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % nInputs
+				var got []float64
+				if r%2 == 0 {
+					got = m.Predict(inputs[i])
+				} else {
+					got = m.PredictBatch(inputs[i : i+1])[0]
+				}
+				for o := range want[i] {
+					if got[o] != want[i][o] {
+						select {
+						case errCh <- "concurrent Predict diverged from baseline":
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	if msg, ok := <-errCh; ok {
+		t.Fatal(msg)
+	}
+}

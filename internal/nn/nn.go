@@ -19,6 +19,13 @@ import (
 
 // MLP is a multi-layer perceptron with ReLU hidden activations and a linear
 // output layer.
+//
+// Concurrency: Predict, PredictBatch and the other read-only accessors
+// never mutate the network (forward passes allocate their own activation
+// buffers), so a trained MLP may be shared by any number of goroutines —
+// the serving layer's batcher depends on this. The guarantee holds only
+// while no goroutine concurrently mutates parameters (training, MapParams,
+// CopyFrom, UnmarshalJSON); mutate a Clone instead.
 type MLP struct {
 	sizes   []int       // layer widths, including input and output
 	weights [][]float64 // weights[l][o*in+i], layer l maps sizes[l] -> sizes[l+1]

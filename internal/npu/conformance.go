@@ -1,0 +1,82 @@
+package npu
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/nn"
+)
+
+// AsyncBackend is a Backend that also offers the non-blocking invocation of
+// the HiAI DDK (NPU, and any serving-layer device that mirrors it).
+type AsyncBackend interface {
+	Backend
+	InferAsync(batch [][]float64) <-chan Result
+}
+
+// Conformance checks the Backend contract for any implementation:
+//
+//   - Infer outputs are bit-identical to the host model's Predict (the
+//     deployment acceptance test, as in Validate);
+//   - Latency is 0 for non-positive batch sizes, positive for real ones,
+//     and non-decreasing in batch size;
+//   - if the backend is an AsyncBackend, InferAsync agrees with Infer and
+//     reports Latency(len(batch)).
+//
+// probes must be non-empty rows of the model's input dimension.
+func Conformance(b Backend, model *nn.MLP, probes [][]float64) error {
+	if len(probes) == 0 {
+		return fmt.Errorf("npu: conformance needs at least one probe")
+	}
+	if b.Name() == "" {
+		return fmt.Errorf("npu: backend has an empty name")
+	}
+	if err := Validate(b, model, probes); err != nil {
+		return fmt.Errorf("backend %q: %w", b.Name(), err)
+	}
+
+	// Latency shape.
+	for _, n := range []int{0, -1} {
+		if d := b.Latency(n); d != 0 {
+			return fmt.Errorf("backend %q: Latency(%d) = %v, want 0", b.Name(), n, d)
+		}
+	}
+	prev := time.Duration(0)
+	for _, n := range []int{1, 2, len(probes), 16, 64} {
+		d := b.Latency(n)
+		if d <= 0 {
+			return fmt.Errorf("backend %q: Latency(%d) = %v, want > 0", b.Name(), n, d)
+		}
+		if d < prev {
+			return fmt.Errorf("backend %q: Latency(%d) = %v decreased below %v", b.Name(), n, d, prev)
+		}
+		prev = d
+	}
+
+	// Async agreement.
+	if ab, ok := b.(AsyncBackend); ok {
+		res := <-ab.InferAsync(probes)
+		want := b.Infer(probes)
+		if len(res.Outputs) != len(want) {
+			return fmt.Errorf("backend %q: InferAsync returned %d outputs, want %d",
+				b.Name(), len(res.Outputs), len(want))
+		}
+		for i := range want {
+			if len(res.Outputs[i]) != len(want[i]) {
+				return fmt.Errorf("backend %q: InferAsync output %d has dim %d, want %d",
+					b.Name(), i, len(res.Outputs[i]), len(want[i]))
+			}
+			for o := range want[i] {
+				if res.Outputs[i][o] != want[i][o] {
+					return fmt.Errorf("backend %q: InferAsync output %d[%d] = %g, Infer gives %g",
+						b.Name(), i, o, res.Outputs[i][o], want[i][o])
+				}
+			}
+		}
+		if res.Latency != b.Latency(len(probes)) {
+			return fmt.Errorf("backend %q: InferAsync latency %v, Latency(%d) gives %v",
+				b.Name(), res.Latency, len(probes), b.Latency(len(probes)))
+		}
+	}
+	return nil
+}

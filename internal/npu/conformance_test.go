@@ -1,0 +1,97 @@
+package npu
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// probeInputs builds deterministic probe vectors for a model.
+func probeInputs(dim, n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, dim)
+		for j := range out[i] {
+			out[i][j] = rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+// TestBackendConformance runs the shared contract check over both built-in
+// backends (the serving layer runs it over its registry-backed backend).
+func TestBackendConformance(t *testing.T) {
+	m := nn.NewMLP([]int{21, 32, 8}, 3)
+	probes := probeInputs(21, 6, 4)
+	for _, b := range []Backend{New(m), NewCPU(m)} {
+		if err := Conformance(b, m, probes); err != nil {
+			t.Errorf("Conformance(%s): %v", b.Name(), err)
+		}
+	}
+}
+
+// TestConformanceRejectsWrongModel ensures the checker actually detects a
+// backend computing with different parameters.
+func TestConformanceRejectsWrongModel(t *testing.T) {
+	m := nn.NewMLP([]int{4, 8, 2}, 5)
+	other := nn.NewMLP([]int{4, 8, 2}, 6)
+	if err := Conformance(New(other), m, probeInputs(4, 3, 7)); err == nil {
+		t.Fatal("Conformance accepted a backend running a different model")
+	}
+}
+
+// TestConcurrentInferAsync issues non-blocking inferences against one
+// shared NPU from many goroutines — the fan-in pattern of the serving
+// frontend — and verifies outputs and latency agreement. Run with -race.
+func TestConcurrentInferAsync(t *testing.T) {
+	m := nn.NewMLP([]int{21, 64, 8}, 8)
+	dev := New(m)
+	probes := probeInputs(21, 16, 9)
+	want := m.PredictBatch(probes)
+
+	const goroutines = 16
+	const rounds = 20
+	var wg sync.WaitGroup
+	errCh := make(chan string, goroutines)
+	fail := func(msg string) {
+		select {
+		case errCh <- msg:
+		default:
+		}
+	}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				lo := (g + r) % len(probes)
+				hi := lo + 1 + r%3
+				if hi > len(probes) {
+					hi = lo + 1
+				}
+				batch := probes[lo:hi]
+				res := <-dev.InferAsync(batch)
+				if res.Latency != dev.Latency(len(batch)) {
+					fail("InferAsync latency disagrees with Latency")
+					return
+				}
+				for i := range batch {
+					for o := range want[lo+i] {
+						if res.Outputs[i][o] != want[lo+i][o] {
+							fail("InferAsync output diverged under concurrency")
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	if msg, ok := <-errCh; ok {
+		t.Fatal(msg)
+	}
+}

@@ -19,7 +19,12 @@ import (
 )
 
 // Backend performs batched NN inference and reports how long the real
-// device would take. Implementations: NPU (accelerator) and CPUBackend.
+// device would take. Implementations: NPU (accelerator), CPUBackend, and
+// the serving layer's registry-backed device.
+//
+// Concurrency: implementations over a fixed model must be safe for
+// concurrent Infer/Latency calls — nn.MLP forward passes are read-only, so
+// NPU and CPUBackend are; custom backends must preserve this.
 type Backend interface {
 	Name() string
 	// Infer runs one forward pass per row of batch.

@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/npu"
+)
+
+// Errors returned by Batcher.Submit; the HTTP layer maps them to 429/503.
+var (
+	ErrOverloaded = errors.New("serve: queue full")
+	ErrClosed     = errors.New("serve: shutting down")
+)
+
+// BatcherConfig tunes the coalescing frontend.
+type BatcherConfig struct {
+	// MaxBatch flushes a batch once this many requests are pending — the
+	// NPU's wave width (npu.NPU.Lanes) is the natural choice.
+	MaxBatch int
+	// MaxWait bounds how long the first request of a batch waits for
+	// company before the batch is flushed anyway.
+	MaxWait time.Duration
+	// QueueCap bounds the number of pending submissions; Submit returns
+	// ErrOverloaded beyond it (backpressure instead of unbounded queueing).
+	QueueCap int
+	// MaxInflight bounds concurrently executing batches — the device queue
+	// depth. When every slot is busy the collector stops admitting work,
+	// the queue fills, and Submit starts rejecting: end-to-end
+	// backpressure instead of unbounded dispatch goroutines.
+	MaxInflight int
+}
+
+// DefaultBatcherConfig returns production defaults: one NPU wave per batch
+// and a wait short enough to be invisible next to the device's ≈1 ms
+// invocation overhead.
+func DefaultBatcherConfig() BatcherConfig {
+	return BatcherConfig{MaxBatch: 16, MaxWait: 2 * time.Millisecond, QueueCap: 256, MaxInflight: 4}
+}
+
+// batchReq is one pending inference.
+type batchReq struct {
+	in  []float64
+	out chan batchResp // buffered(1): the collector never blocks on delivery
+}
+
+// batchResp carries one request's result out of a flushed batch.
+type batchResp struct {
+	out       []float64
+	device    time.Duration // modelled device latency of the whole batch
+	batchSize int
+}
+
+// SubmitInfo reports how a request was served.
+type SubmitInfo struct {
+	// BatchSize is the size of the coalesced batch this request rode in.
+	BatchSize int
+	// DeviceLatency is the modelled accelerator cost of that batch — by the
+	// paper's Fig. 12 nearly independent of BatchSize on the NPU.
+	DeviceLatency time.Duration
+}
+
+// Batcher coalesces concurrent inference submissions into batches, the
+// serving-side analogue of the paper's batched NPU call: one non-blocking
+// device invocation serves every application's query at once, so
+// per-request latency stays near-constant under fan-in.
+//
+// A single collector goroutine gathers requests until MaxBatch are pending
+// or MaxWait has elapsed since the batch opened, then hands the batch to a
+// dispatch goroutine (mirroring npu.InferAsync) and immediately resumes
+// collecting — inference never blocks admission.
+type Batcher struct {
+	backend  npu.Backend
+	inputDim int
+	cfg      BatcherConfig
+
+	reqs chan batchReq
+	quit chan struct{}
+	sem  chan struct{} // in-flight batch slots
+
+	collector sync.WaitGroup
+	inflight  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	stats  batcherCounters
+}
+
+type batcherCounters struct {
+	requests     uint64
+	rejected     uint64
+	batches      uint64
+	flushFull    uint64
+	flushTimer   uint64
+	largestBatch int
+	sumBatch     uint64
+}
+
+// BatcherStats is a point-in-time snapshot of the coalescing behaviour.
+type BatcherStats struct {
+	Requests     uint64  `json:"requests"`
+	Rejected     uint64  `json:"rejected"`
+	Batches      uint64  `json:"batches"`
+	FlushFull    uint64  `json:"flushFull"`
+	FlushTimer   uint64  `json:"flushTimer"`
+	LargestBatch int     `json:"largestBatch"`
+	MeanBatch    float64 `json:"meanBatch"`
+}
+
+// NewBatcher starts a batcher over the given backend. inputDim guards
+// submissions (the backend's model would panic on a wrong dimension deep
+// inside a dispatch goroutine otherwise). Close must be called to release
+// the collector.
+func NewBatcher(backend npu.Backend, inputDim int, cfg BatcherConfig) *Batcher {
+	if backend == nil {
+		panic("serve: nil backend")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultBatcherConfig().MaxBatch
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = DefaultBatcherConfig().MaxWait
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultBatcherConfig().QueueCap
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultBatcherConfig().MaxInflight
+	}
+	b := &Batcher{
+		backend:  backend,
+		inputDim: inputDim,
+		cfg:      cfg,
+		reqs:     make(chan batchReq, cfg.QueueCap),
+		quit:     make(chan struct{}),
+		sem:      make(chan struct{}, cfg.MaxInflight),
+	}
+	b.collector.Add(1)
+	go b.collect()
+	return b
+}
+
+// Submit enqueues one input vector and blocks until its output is ready,
+// the context is canceled, or the batcher shuts down. It never blocks on a
+// full queue: beyond QueueCap it fails fast with ErrOverloaded.
+func (b *Batcher) Submit(ctx context.Context, in []float64) ([]float64, SubmitInfo, error) {
+	if b.inputDim > 0 && len(in) != b.inputDim {
+		return nil, SubmitInfo{}, fmt.Errorf("serve: input dim %d, want %d", len(in), b.inputDim)
+	}
+	req := batchReq{in: in, out: make(chan batchResp, 1)}
+	// Enqueue under the closed-check mutex: Close sets closed before
+	// signalling the collector, so any request admitted here is in the
+	// queue before the final drain and is guaranteed an answer.
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, SubmitInfo{}, ErrClosed
+	}
+	b.stats.requests++
+	select {
+	case b.reqs <- req:
+		b.mu.Unlock()
+	default:
+		b.stats.rejected++
+		b.mu.Unlock()
+		return nil, SubmitInfo{}, ErrOverloaded
+	}
+
+	select {
+	case resp := <-req.out:
+		return resp.out, SubmitInfo{BatchSize: resp.batchSize, DeviceLatency: resp.device}, nil
+	case <-ctx.Done():
+		// The collector will still compute and deliver into the buffered
+		// channel; the result is simply discarded.
+		return nil, SubmitInfo{}, ctx.Err()
+	}
+}
+
+// collect is the single collector goroutine.
+func (b *Batcher) collect() {
+	defer b.collector.Done()
+	for {
+		select {
+		case <-b.quit:
+			b.drain()
+			return
+		case first := <-b.reqs:
+			batch := append(make([]batchReq, 0, b.cfg.MaxBatch), first)
+			timer := time.NewTimer(b.cfg.MaxWait)
+			full := true
+		gather:
+			for len(batch) < b.cfg.MaxBatch {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+				case <-timer.C:
+					full = false
+					break gather
+				case <-b.quit:
+					timer.Stop()
+					b.flush(batch, false)
+					b.drain()
+					return
+				}
+			}
+			timer.Stop()
+			b.flush(batch, full)
+		}
+	}
+}
+
+// drain serves whatever is still queued at shutdown, one final batch per
+// MaxBatch requests, so no accepted submission is dropped.
+func (b *Batcher) drain() {
+	for {
+		var batch []batchReq
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case r := <-b.reqs:
+				batch = append(batch, r)
+			default:
+				goto out
+			}
+		}
+	out:
+		if len(batch) == 0 {
+			return
+		}
+		b.flush(batch, len(batch) == b.cfg.MaxBatch)
+	}
+}
+
+// flush dispatches a batch without blocking the collector, mirroring the
+// non-blocking npu.InferAsync call of the paper's daemon.
+func (b *Batcher) flush(batch []batchReq, full bool) {
+	b.mu.Lock()
+	b.stats.batches++
+	if full {
+		b.stats.flushFull++
+	} else {
+		b.stats.flushTimer++
+	}
+	if len(batch) > b.stats.largestBatch {
+		b.stats.largestBatch = len(batch)
+	}
+	b.stats.sumBatch += uint64(len(batch))
+	b.mu.Unlock()
+
+	// Acquire a device slot before dispatching; with every slot busy this
+	// blocks the collector, which is what propagates backpressure to the
+	// bounded queue and from there to Submit.
+	b.sem <- struct{}{}
+	b.inflight.Add(1)
+	go func() {
+		defer func() {
+			<-b.sem
+			b.inflight.Done()
+		}()
+		ins := make([][]float64, len(batch))
+		for i, r := range batch {
+			ins[i] = r.in
+		}
+		outs := b.backend.Infer(ins)
+		dev := b.backend.Latency(len(batch))
+		for i, r := range batch {
+			r.out <- batchResp{out: outs[i], device: dev, batchSize: len(batch)}
+		}
+	}()
+}
+
+// Close stops accepting submissions, serves everything already queued and
+// waits for in-flight batches to finish.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.quit)
+	b.collector.Wait()
+	b.inflight.Wait()
+}
+
+// Stats returns a snapshot of the coalescing counters.
+func (b *Batcher) Stats() BatcherStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := BatcherStats{
+		Requests:     b.stats.requests,
+		Rejected:     b.stats.rejected,
+		Batches:      b.stats.batches,
+		FlushFull:    b.stats.flushFull,
+		FlushTimer:   b.stats.flushTimer,
+		LargestBatch: b.stats.largestBatch,
+	}
+	if s.Batches > 0 {
+		s.MeanBatch = float64(b.stats.sumBatch) / float64(s.Batches)
+	}
+	return s
+}

@@ -1,0 +1,563 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/governor"
+	"repro/internal/npu"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// JobState is the lifecycle state of a simulation job.
+type JobState string
+
+// Job lifecycle: Queued -> Running -> one of Done / Failed / Canceled.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// SimRequest describes one simulation job: a workload (explicit manifest or
+// generator parameters), a management policy and run settings. It is the
+// body of POST /v1/sim.
+type SimRequest struct {
+	// Policy selects the manager: "TOP-IL", "GTS/ondemand",
+	// "GTS/powersave", "GTS/schedutil" or "GTS/performance".
+	Policy string `json:"policy"`
+	// Model names the registry model for TOP-IL (required for TOP-IL).
+	Model string `json:"model,omitempty"`
+	// Backend selects TOP-IL's inference device: "npu" (default) or "cpu"
+	// (the paper's no-accelerator ablation).
+	Backend string `json:"backend,omitempty"`
+
+	// Duration is the simulated time in seconds (default 60).
+	Duration float64 `json:"duration,omitempty"`
+	// Seed drives workload generation and simulator noise (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Fan selects active cooling (default true, the paper's training
+	// setup; false exposes DTM throttling).
+	Fan *bool `json:"fan,omitempty"`
+
+	// Jobs is an explicit workload manifest (same schema as saved job
+	// lists). When empty, NumJobs/Rate/InstrScale drive the generator.
+	Jobs []workload.JobEntry `json:"jobs,omitempty"`
+	// NumJobs is the number of generated applications (default 8).
+	NumJobs int `json:"numJobs,omitempty"`
+	// Rate is the Poisson arrival rate in jobs/s (default 0.1).
+	Rate float64 `json:"rate,omitempty"`
+	// InstrScale scales application lengths (default 0.1, quick runs).
+	InstrScale float64 `json:"instrScale,omitempty"`
+}
+
+// withDefaults fills unset fields.
+func (r SimRequest) withDefaults() SimRequest {
+	if r.Duration == 0 {
+		r.Duration = 60
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Backend == "" {
+		r.Backend = "npu"
+	}
+	if r.NumJobs == 0 {
+		r.NumJobs = 8
+	}
+	if r.Rate == 0 {
+		r.Rate = 0.1
+	}
+	if r.InstrScale == 0 {
+		r.InstrScale = 0.1
+	}
+	return r
+}
+
+// validate rejects requests that could not be run.
+func (r SimRequest) validate() error {
+	switch r.Policy {
+	case "TOP-IL":
+		if r.Model == "" {
+			return fmt.Errorf("serve: policy TOP-IL requires a model name")
+		}
+		if r.Backend != "npu" && r.Backend != "cpu" {
+			return fmt.Errorf("serve: unknown inference backend %q", r.Backend)
+		}
+	case "GTS/ondemand", "GTS/powersave", "GTS/schedutil", "GTS/performance":
+	default:
+		return fmt.Errorf("serve: unknown policy %q", r.Policy)
+	}
+	if r.Duration <= 0 || r.Duration > 24*3600 {
+		return fmt.Errorf("serve: duration %g s out of range (0, 86400]", r.Duration)
+	}
+	if len(r.Jobs) == 0 {
+		if r.NumJobs <= 0 || r.NumJobs > 1024 {
+			return fmt.Errorf("serve: numJobs %d out of range [1, 1024]", r.NumJobs)
+		}
+		if r.Rate <= 0 {
+			return fmt.Errorf("serve: non-positive arrival rate")
+		}
+		if r.InstrScale <= 0 {
+			return fmt.Errorf("serve: non-positive instruction scale")
+		}
+	}
+	return nil
+}
+
+// AppResult is the per-application outcome in a SimResult.
+type AppResult struct {
+	Name         string  `json:"name"`
+	QoSGips      float64 `json:"qosGips"`
+	AchievedGips float64 `json:"achievedGips"`
+	Finished     bool    `json:"finished"`
+	Violated     bool    `json:"violated"`
+	Core         int     `json:"core"`
+}
+
+// SimResult is the job payload built from sim.Result.
+type SimResult struct {
+	Technique       string      `json:"technique"`
+	Duration        float64     `json:"duration"`
+	AvgTemp         float64     `json:"avgTemp"`
+	PeakTemp        float64     `json:"peakTemp"`
+	Violations      int         `json:"violations"`
+	Migrations      int         `json:"migrations"`
+	ThrottleSeconds float64     `json:"throttleSeconds"`
+	OverheadSeconds float64     `json:"overheadSeconds"`
+	AvgUtil         float64     `json:"avgUtil"`
+	PeakUtil        float64     `json:"peakUtil"`
+	TotalEnergyJ    float64     `json:"totalEnergyJ"`
+	Apps            []AppResult `json:"apps"`
+}
+
+// newSimResult converts an engine result.
+func newSimResult(technique string, res *sim.Result) *SimResult {
+	out := &SimResult{
+		Technique:       technique,
+		Duration:        res.Duration,
+		AvgTemp:         res.AvgTemp,
+		PeakTemp:        res.PeakTemp,
+		Violations:      res.Violations,
+		Migrations:      res.Migrations,
+		ThrottleSeconds: res.ThrottleSeconds,
+		OverheadSeconds: res.OverheadSeconds,
+		AvgUtil:         res.AvgUtil,
+		PeakUtil:        res.PeakUtil,
+		TotalEnergyJ:    res.TotalEnergyJ(),
+	}
+	for _, a := range res.Apps {
+		out.Apps = append(out.Apps, AppResult{
+			Name:         a.Name,
+			QoSGips:      a.QoS / 1e9,
+			AchievedGips: a.MeanIPS / 1e9,
+			Finished:     a.Finished,
+			Violated:     a.Violated,
+			Core:         int(a.Core),
+		})
+	}
+	return out
+}
+
+// Job is one tracked simulation job.
+type Job struct {
+	id string
+
+	mu       sync.Mutex
+	state    JobState
+	req      SimRequest
+	err      string
+	result   *SimResult
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	runCtx   context.Context
+	cancel   context.CancelFunc
+}
+
+// JobSnapshot is the JSON view of a Job.
+type JobSnapshot struct {
+	ID       string     `json:"id"`
+	State    JobState   `json:"state"`
+	Policy   string     `json:"policy"`
+	Model    string     `json:"model,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	QueuedMs float64    `json:"queuedMs"`
+	RunMs    float64    `json:"runMs"`
+	Result   *SimResult `json:"result,omitempty"`
+}
+
+// Snapshot returns the job's current state.
+func (j *Job) Snapshot() JobSnapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobSnapshot{
+		ID:     j.id,
+		State:  j.state,
+		Policy: j.req.Policy,
+		Model:  j.req.Model,
+		Error:  j.err,
+		Result: j.result,
+	}
+	switch j.state {
+	case StateQueued:
+		s.QueuedMs = ms(time.Since(j.created))
+	case StateRunning:
+		s.QueuedMs = ms(j.started.Sub(j.created))
+		s.RunMs = ms(time.Since(j.started))
+	default:
+		if !j.started.IsZero() {
+			s.QueuedMs = ms(j.started.Sub(j.created))
+			s.RunMs = ms(j.finished.Sub(j.started))
+		} else {
+			s.QueuedMs = ms(j.finished.Sub(j.created))
+		}
+	}
+	return s
+}
+
+// setState transitions the job, stamping timestamps.
+func (j *Job) setState(st JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = st
+	switch st {
+	case StateRunning:
+		j.started = time.Now()
+	case StateDone, StateFailed, StateCanceled:
+		j.finished = time.Now()
+	}
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// RunnerStats summarizes the worker pool for /v1/stats.
+type RunnerStats struct {
+	Workers   int    `json:"workers"`
+	QueueCap  int    `json:"queueCap"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+}
+
+// Runner executes simulation jobs on a bounded worker pool. Submissions
+// beyond the queue capacity fail fast with ErrOverloaded (429 at the HTTP
+// layer); Shutdown drains in-flight work.
+type Runner struct {
+	reg      *Registry
+	workers  int
+	queueCap int
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job
+	order  []string
+	seq    int
+
+	done, failed, canceled, submitted, rejected uint64
+}
+
+// NewRunner starts `workers` goroutines consuming a queue of `queueCap`
+// pending jobs. The registry resolves TOP-IL models.
+func NewRunner(reg *Registry, workers, queueCap int) *Runner {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueCap <= 0 {
+		queueCap = 16
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Runner{
+		reg:       reg,
+		workers:   workers,
+		queueCap:  queueCap,
+		queue:     make(chan *Job, queueCap),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		jobs:      make(map[string]*Job),
+	}
+	for i := 0; i < workers; i++ {
+		r.wg.Add(1)
+		go r.worker()
+	}
+	return r
+}
+
+// Submit validates and enqueues a job, returning its snapshot.
+func (r *Runner) Submit(req SimRequest) (JobSnapshot, error) {
+	req = req.withDefaults()
+	if err := req.validate(); err != nil {
+		return JobSnapshot{}, err
+	}
+	// Resolve the model eagerly so a bad name fails the submission, not the
+	// job minutes later.
+	if req.Policy == "TOP-IL" {
+		if _, err := r.reg.Model(req.Model); err != nil {
+			return JobSnapshot{}, err
+		}
+	}
+	if len(req.Jobs) > 0 {
+		if _, err := workload.EntriesToJobs(req.Jobs); err != nil {
+			return JobSnapshot{}, err
+		}
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return JobSnapshot{}, ErrClosed
+	}
+	r.seq++
+	jobCtx, jobCancel := context.WithCancel(r.baseCtx)
+	j := &Job{
+		id:      fmt.Sprintf("j-%06d", r.seq),
+		state:   StateQueued,
+		req:     req,
+		created: time.Now(),
+		runCtx:  jobCtx,
+		cancel:  jobCancel,
+	}
+	select {
+	case r.queue <- j:
+		r.jobs[j.id] = j
+		r.order = append(r.order, j.id)
+		r.submitted++
+		r.mu.Unlock()
+		return j.Snapshot(), nil
+	default:
+		r.rejected++
+		r.mu.Unlock()
+		jobCancel()
+		return JobSnapshot{}, ErrOverloaded
+	}
+}
+
+// Get returns a job by ID.
+func (r *Runner) Get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// List returns snapshots of every job in submission order.
+func (r *Runner) List() []JobSnapshot {
+	r.mu.Lock()
+	ids := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	out := make([]JobSnapshot, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := r.Get(id); ok {
+			out = append(out, j.Snapshot())
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation of a queued or running job. Queued jobs are
+// skipped by the workers; running jobs stop at the next simulator tick.
+func (r *Runner) Cancel(id string) bool {
+	j, ok := r.Get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// Stats returns a snapshot of the pool.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := RunnerStats{
+		Workers:   r.workers,
+		QueueCap:  r.queueCap,
+		Queued:    len(r.queue),
+		Done:      r.done,
+		Failed:    r.failed,
+		Canceled:  r.canceled,
+		Submitted: r.submitted,
+		Rejected:  r.rejected,
+	}
+	for _, j := range r.jobs {
+		if j.State() == StateRunning {
+			s.Running++
+		}
+	}
+	return s
+}
+
+// Shutdown stops accepting submissions and drains: queued and running jobs
+// keep executing until done or until ctx expires, at which point they are
+// canceled at the next simulator tick.
+func (r *Runner) Shutdown(ctx context.Context) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.wg.Wait()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.queue)
+
+	finished := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		r.cancelAll()
+		<-finished
+	}
+}
+
+// worker consumes the queue until it is closed and drained.
+func (r *Runner) worker() {
+	defer r.wg.Done()
+	for j := range r.queue {
+		r.run(j)
+	}
+}
+
+// run executes one job.
+func (r *Runner) run(j *Job) {
+	j.mu.Lock()
+	ctx := j.runCtx
+	j.mu.Unlock()
+	if ctx.Err() != nil {
+		j.setState(StateCanceled)
+		r.count(StateCanceled)
+		return
+	}
+	j.setState(StateRunning)
+	res, err := r.execute(ctx, j.req)
+	switch {
+	case err != nil:
+		j.mu.Lock()
+		j.err = err.Error()
+		j.mu.Unlock()
+		j.setState(StateFailed)
+		r.count(StateFailed)
+	case ctx.Err() != nil:
+		j.setState(StateCanceled)
+		r.count(StateCanceled)
+	default:
+		j.mu.Lock()
+		j.result = res
+		j.mu.Unlock()
+		j.setState(StateDone)
+		r.count(StateDone)
+	}
+}
+
+func (r *Runner) count(st JobState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch st {
+	case StateDone:
+		r.done++
+	case StateFailed:
+		r.failed++
+	case StateCanceled:
+		r.canceled++
+	}
+}
+
+// execute builds and runs the simulation described by req, stopping early
+// when ctx is canceled.
+func (r *Runner) execute(ctx context.Context, req SimRequest) (*SimResult, error) {
+	fan := true
+	if req.Fan != nil {
+		fan = *req.Fan
+	}
+	cfg := sim.DefaultConfig(fan, 25)
+	cfg.Seed = req.Seed
+	engine := sim.New(cfg)
+
+	mgr, err := r.manager(req, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var jobs []workload.Job
+	if len(req.Jobs) > 0 {
+		jobs, err = workload.EntriesToJobs(req.Jobs)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		pm := perf.Default()
+		peak := func(spec workload.AppSpec) float64 { return pm.PeakIPS(cfg.Platform, spec) }
+		gen := workload.NewGenerator(req.Seed, workload.MixedPool(), peak, 0.2, 0.7, req.InstrScale)
+		jobs = gen.Generate(req.NumJobs, req.Rate)
+	}
+	engine.AddJobs(jobs)
+
+	res := engine.RunUntil(mgr, req.Duration, func() bool { return ctx.Err() != nil })
+	return newSimResult(mgr.Name(), res), nil
+}
+
+// manager assembles the requested policy.
+func (r *Runner) manager(req SimRequest, cfg sim.Config) (sim.Manager, error) {
+	switch req.Policy {
+	case "TOP-IL":
+		model, err := r.reg.Model(req.Model)
+		if err != nil {
+			return nil, err
+		}
+		plat := cfg.Platform
+		wantIn := features.Dim(plat.NumCores(), plat.NumClusters())
+		if model.InputDim() != wantIn || model.OutputDim() != plat.NumCores() {
+			return nil, fmt.Errorf("serve: model %q is %d->%d, platform needs %d->%d",
+				req.Model, model.InputDim(), model.OutputDim(), wantIn, plat.NumCores())
+		}
+		var backend npu.Backend
+		if req.Backend == "cpu" {
+			backend = npu.NewCPU(model)
+		} else {
+			backend = npu.New(model)
+		}
+		return core.New(backend, core.DefaultConfig()), nil
+	case "GTS/ondemand":
+		return governor.NewGTS(governor.Ondemand{UpThreshold: 0.8}), nil
+	case "GTS/powersave":
+		return governor.NewGTS(governor.Powersave{}), nil
+	case "GTS/schedutil":
+		return governor.NewGTS(governor.Schedutil{}), nil
+	case "GTS/performance":
+		return governor.NewGTS(governor.Performance{}), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown policy %q", req.Policy)
+	}
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram bucket upper bounds. Exponential spacing
+// from 50 µs to ~26 s covers both the sub-millisecond inference path and
+// multi-second simulation jobs with bounded memory.
+var latencyBuckets = func() []time.Duration {
+	var b []time.Duration
+	for d := 50 * time.Microsecond; d < 30*time.Second; d *= 2 {
+		b = append(b, d)
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []uint64
+	over   uint64 // observations above the last bucket
+	total  uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+// NewHistogram creates an empty histogram over latencyBuckets.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, len(latencyBuckets))}
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.total++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	i := sort.Search(len(latencyBuckets), func(i int) bool { return d <= latencyBuckets[i] })
+	if i == len(latencyBuckets) {
+		h.over++
+		return
+	}
+	h.counts[i]++
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the containing bucket. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	cum := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = latencyBuckets[i-1]
+			}
+			hi := latencyBuckets[i]
+			frac := (rank - cum) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// Snapshot returns the aggregate counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	p50 := h.Quantile(0.50)
+	p95 := h.Quantile(0.95)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.total, MaxMs: ms(h.max), P50Ms: ms(p50), P95Ms: ms(p95)}
+	if h.total > 0 {
+		s.MeanMs = ms(h.sum / time.Duration(h.total))
+	}
+	return s
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// HistogramSnapshot is the JSON form of a Histogram.
+type HistogramSnapshot struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+// EndpointStats accumulates per-endpoint request counters.
+type EndpointStats struct {
+	mu      sync.Mutex
+	count   uint64
+	errors  uint64 // 4xx
+	faults  uint64 // 5xx
+	latency *Histogram
+}
+
+// EndpointSnapshot is the JSON form of EndpointStats.
+type EndpointSnapshot struct {
+	Count   uint64            `json:"count"`
+	Errors  uint64            `json:"errors"`
+	Faults  uint64            `json:"faults"`
+	Latency HistogramSnapshot `json:"latency"`
+}
+
+// Metrics tracks request statistics per endpoint pattern.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*EndpointStats
+}
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*EndpointStats)}
+}
+
+// endpoint returns (creating on demand) the stats for a pattern.
+func (m *Metrics) endpoint(pattern string) *EndpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.endpoints[pattern]
+	if s == nil {
+		s = &EndpointStats{latency: NewHistogram()}
+		m.endpoints[pattern] = s
+	}
+	return s
+}
+
+// Record registers one served request.
+func (m *Metrics) Record(pattern string, status int, d time.Duration) {
+	s := m.endpoint(pattern)
+	s.mu.Lock()
+	s.count++
+	switch {
+	case status >= 500:
+		s.faults++
+	case status >= 400:
+		s.errors++
+	}
+	s.mu.Unlock()
+	s.latency.Observe(d)
+}
+
+// Snapshot returns all endpoint counters keyed by pattern.
+func (m *Metrics) Snapshot() map[string]EndpointSnapshot {
+	m.mu.Lock()
+	patterns := make([]string, 0, len(m.endpoints))
+	for p := range m.endpoints {
+		patterns = append(patterns, p)
+	}
+	m.mu.Unlock()
+	out := make(map[string]EndpointSnapshot, len(patterns))
+	for _, p := range patterns {
+		s := m.endpoint(p)
+		lat := s.latency.Snapshot()
+		s.mu.Lock()
+		out[p] = EndpointSnapshot{Count: s.count, Errors: s.errors, Faults: s.faults, Latency: lat}
+		s.mu.Unlock()
+	}
+	return out
+}

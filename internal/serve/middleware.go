@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// requestIDHeader carries the per-request correlation ID; an incoming value
+// is respected (gateway-assigned IDs propagate), otherwise one is minted.
+const requestIDHeader = "X-Request-Id"
+
+// idPrefix distinguishes IDs minted by different server instances.
+var idPrefix = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "serve"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var idCounter atomic.Uint64
+
+// newRequestID mints a process-unique request ID.
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06d", idPrefix, idCounter.Add(1))
+}
+
+// statusWriter records the status code written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the service middleware stack: request-ID
+// assignment, per-endpoint metrics (count, error classes, latency
+// histogram) keyed by the mux pattern, and panic containment (a handler
+// panic becomes a 500 and a counted fault, not a dead connection).
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				log.Printf("serve: %s %s [%s]: panic: %v", r.Method, r.URL.Path, id, p)
+				if sw.status == 0 {
+					http.Error(sw, "internal error", http.StatusInternalServerError)
+				}
+			}
+			s.metrics.Record(pattern, sw.status, time.Since(start))
+		}()
+		h(sw, r)
+	}
+}

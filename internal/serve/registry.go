@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/npu"
+)
+
+// Registry loads named IL models from an artifacts directory and caches
+// them. A model name maps to <dir>/<name>.json, the artifact format written
+// by cmd/topil-train and core.SaveModel. Loaded models are shared, relied
+// on being read-only (see the nn package's concurrency guarantee).
+type Registry struct {
+	dir string
+
+	mu     sync.RWMutex
+	models map[string]*nn.MLP
+}
+
+// NewRegistry creates a registry over the given artifacts directory.
+func NewRegistry(dir string) *Registry {
+	return &Registry{dir: dir, models: make(map[string]*nn.MLP)}
+}
+
+// validName rejects names that would escape the artifacts directory.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty model name")
+	}
+	if strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return fmt.Errorf("serve: invalid model name %q", name)
+	}
+	return nil
+}
+
+// Model returns the named model, loading it from disk on first use.
+func (r *Registry) Model(name string) (*nn.MLP, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	m := r.models[name]
+	r.mu.RUnlock()
+	if m != nil {
+		return m, nil
+	}
+	// Load outside the lock; a duplicate concurrent load is harmless (last
+	// writer wins, both copies are identical read-only networks).
+	m, err := core.LoadModel(filepath.Join(r.dir, name+".json"), 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading model %q: %w", name, err)
+	}
+	r.mu.Lock()
+	if prev := r.models[name]; prev != nil {
+		m = prev
+	} else {
+		r.models[name] = m
+	}
+	r.mu.Unlock()
+	return m, nil
+}
+
+// List returns the model names available on disk (without extension),
+// sorted.
+func (r *Registry) List() ([]string, error) {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listing models: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Backend returns an npu.Backend serving the named model with the NPU's
+// latency semantics — the registry-backed device the Batcher and the sim
+// runner hand to TOP-IL.
+func (r *Registry) Backend(name string) (*ModelBackend, error) {
+	m, err := r.Model(name)
+	if err != nil {
+		return nil, err
+	}
+	return &ModelBackend{name: name, dev: npu.New(m)}, nil
+}
+
+// ModelBackend adapts a registry model to npu.Backend with the NPU latency
+// model (batched inference at near-constant invocation cost). It also
+// offers the NPU's non-blocking call, so it satisfies npu conformance
+// including InferAsync agreement.
+type ModelBackend struct {
+	name string
+	dev  *npu.NPU
+}
+
+// Name implements npu.Backend.
+func (b *ModelBackend) Name() string { return "serve/" + b.name }
+
+// Infer implements npu.Backend.
+func (b *ModelBackend) Infer(batch [][]float64) [][]float64 { return b.dev.Infer(batch) }
+
+// Latency implements npu.Backend.
+func (b *ModelBackend) Latency(batchSize int) time.Duration { return b.dev.Latency(batchSize) }
+
+// InferAsync mirrors npu.NPU.InferAsync: a non-blocking batched inference.
+func (b *ModelBackend) InferAsync(batch [][]float64) <-chan npu.Result {
+	return b.dev.InferAsync(batch)
+}

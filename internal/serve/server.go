@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies (a 1024-job manifest fits easily).
+const maxBodyBytes = 8 << 20
+
+// Config assembles a Server.
+type Config struct {
+	// ModelsDir is the artifacts directory holding <name>.json models.
+	ModelsDir string
+	// Workers sizes the simulation worker pool (default runtime.NumCPU()).
+	Workers int
+	// QueueCap bounds the simulation job queue (default 4×Workers).
+	QueueCap int
+	// Batch tunes the inference coalescing frontend.
+	Batch BatcherConfig
+}
+
+// Server is the HTTP service: model registry + batching inference frontend
+// + simulation job runner, with per-endpoint metrics.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	runner  *Runner
+	metrics *Metrics
+
+	mu       sync.Mutex
+	batchers map[string]*Batcher
+	closed   bool
+}
+
+// NewServer creates a server over the given configuration.
+func NewServer(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4 * cfg.Workers
+	}
+	reg := NewRegistry(cfg.ModelsDir)
+	return &Server{
+		cfg:      cfg,
+		reg:      reg,
+		runner:   NewRunner(reg, cfg.Workers, cfg.QueueCap),
+		metrics:  NewMetrics(),
+		batchers: make(map[string]*Batcher),
+	}
+}
+
+// Registry exposes the model registry (used by conformance tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	route("GET /v1/healthz", s.handleHealthz)
+	route("GET /v1/models", s.handleModels)
+	route("POST /v1/infer", s.handleInfer)
+	route("POST /v1/sim", s.handleSim)
+	route("GET /v1/jobs", s.handleJobs)
+	route("GET /v1/jobs/{id}", s.handleJob)
+	route("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	route("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// Shutdown drains the service: the inference frontends serve what they have
+// accepted, and the job runner finishes in-flight simulations until ctx
+// expires (then cancels them at the next simulator tick).
+func (s *Server) Shutdown(ctx context.Context) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	batchers := make([]*Batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		batchers = append(batchers, b)
+	}
+	s.mu.Unlock()
+	for _, b := range batchers {
+		b.Close()
+	}
+	s.runner.Shutdown(ctx)
+}
+
+// batcherFor returns (creating on first use) the per-model batcher. All
+// requests against one model share one batcher — that is what lets
+// independent clients coalesce into one device invocation.
+func (s *Server) batcherFor(name string) (*Batcher, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if b := s.batchers[name]; b != nil {
+		s.mu.Unlock()
+		return b, nil
+	}
+	s.mu.Unlock()
+
+	backend, err := s.reg.Backend(name)
+	if err != nil {
+		return nil, err
+	}
+	model, err := s.reg.Model(name)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if b := s.batchers[name]; b != nil {
+		return b, nil
+	}
+	b := NewBatcher(backend, model.InputDim(), s.cfg.Batch)
+	s.batchers[name] = b
+	return b, nil
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	names, err := s.reg.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if names == nil {
+		names = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"models": names})
+}
+
+// InferRequest is the body of POST /v1/infer.
+type InferRequest struct {
+	Model string `json:"model"`
+	// Inputs holds one feature vector per inference. Each row is submitted
+	// to the shared batcher individually, so rows coalesce with concurrent
+	// requests from other clients.
+	Inputs [][]float64 `json:"inputs"`
+}
+
+// InferResponse is the body of a successful POST /v1/infer.
+type InferResponse struct {
+	Model   string      `json:"model"`
+	Outputs [][]float64 `json:"outputs"`
+	// BatchSizes reports, per input row, the size of the coalesced device
+	// batch that served it (>1 means coalescing with other requests).
+	BatchSizes []int `json:"batchSizes"`
+	// DeviceLatencyUs is the modelled NPU cost of the largest batch any
+	// row rode in — the paper's near-constant invocation cost.
+	DeviceLatencyUs float64 `json:"deviceLatencyUs"`
+	WallUs          float64 `json:"wallUs"`
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var req InferRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Model == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: missing model name"))
+		return
+	}
+	if len(req.Inputs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: empty inputs"))
+		return
+	}
+	if len(req.Inputs) > 4096 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: %d inputs exceed the 4096 limit", len(req.Inputs)))
+		return
+	}
+	b, err := s.batcherFor(req.Model)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+
+	start := time.Now()
+	resp := InferResponse{
+		Model:      req.Model,
+		Outputs:    make([][]float64, len(req.Inputs)),
+		BatchSizes: make([]int, len(req.Inputs)),
+	}
+	errs := make([]error, len(req.Inputs))
+	var wg sync.WaitGroup
+	var devMu sync.Mutex
+	for i, in := range req.Inputs {
+		wg.Add(1)
+		go func(i int, in []float64) {
+			defer wg.Done()
+			out, info, err := b.Submit(r.Context(), in)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp.Outputs[i] = out
+			resp.BatchSizes[i] = info.BatchSize
+			devMu.Lock()
+			if us := float64(info.DeviceLatency) / float64(time.Microsecond); us > resp.DeviceLatencyUs {
+				resp.DeviceLatencyUs = us
+			}
+			devMu.Unlock()
+		}(i, in)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+	}
+	resp.WallUs = float64(time.Since(start)) / float64(time.Microsecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	snap, err := s.runner.Submit(req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+snap.ID)
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.runner.List()
+	if jobs == nil {
+		jobs = []JobSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": jobs})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.runner.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.runner.Cancel(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no such job"))
+		return
+	}
+	j, _ := s.runner.Get(id)
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+	Batchers  map[string]BatcherStats     `json:"batchers"`
+	Jobs      RunnerStats                 `json:"jobs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	batchers := make(map[string]BatcherStats, len(s.batchers))
+	for name, b := range s.batchers {
+		batchers[name] = b.Stats()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Endpoints: s.metrics.Snapshot(),
+		Batchers:  batchers,
+		Jobs:      s.runner.Stats(),
+	})
+}
+
+// --- helpers ---
+
+// statusFor maps service errors to HTTP statuses: backpressure to 429,
+// shutdown to 503, everything else (validation) to 400.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

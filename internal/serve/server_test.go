@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/npu"
+)
+
+// newTestServer builds a server over a temp artifacts dir with one model.
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *nn.MLP) {
+	t.Helper()
+	dir := t.TempDir()
+	m := writeModel(t, dir, "model-1", []int{21, 32, 8}, 1)
+	s := NewServer(Config{
+		ModelsDir: dir,
+		Workers:   2,
+		QueueCap:  8,
+		Batch:     BatcherConfig{MaxBatch: 16, MaxWait: 20 * time.Millisecond, QueueCap: 64},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+	})
+	return s, ts, m
+}
+
+func postJSON(t *testing.T, url string, body interface{}) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, v interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestServerHealthAndModels(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+
+	var health map[string]string
+	resp := getJSON(t, ts.URL+"/v1/healthz", &health)
+	if resp.StatusCode != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, health)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("no request ID assigned")
+	}
+
+	var models struct {
+		Models []string `json:"models"`
+	}
+	getJSON(t, ts.URL+"/v1/models", &models)
+	if len(models.Models) != 1 || models.Models[0] != "model-1" {
+		t.Errorf("models = %v", models.Models)
+	}
+}
+
+func TestServerInfer(t *testing.T) {
+	_, ts, m := newTestServer(t)
+	inputs := testInputs(3, 2)
+	resp, body := postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "model-1", Inputs: inputs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer: %d %s", resp.StatusCode, body)
+	}
+	var out InferResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Outputs) != 3 {
+		t.Fatalf("%d outputs", len(out.Outputs))
+	}
+	for i, in := range inputs {
+		want := m.Predict(in)
+		for o := range want {
+			if out.Outputs[i][o] != want[o] {
+				t.Fatalf("output %d[%d] = %g, want %g", i, o, out.Outputs[i][o], want[o])
+			}
+		}
+	}
+	if out.DeviceLatencyUs <= 0 {
+		t.Error("no device latency reported")
+	}
+
+	// Error paths.
+	for _, req := range []InferRequest{
+		{Model: "", Inputs: inputs},
+		{Model: "absent", Inputs: inputs},
+		{Model: "model-1"},
+		{Model: "model-1", Inputs: [][]float64{{1, 2}}}, // wrong dim
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/infer", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad request %+v -> %d, want 400", req, resp.StatusCode)
+		}
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/infer", map[string]string{"bogus": "field"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field -> %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerInferCoalescing is the serve-level form of the acceptance
+// criterion: 16 concurrent HTTP clients, device invoked strictly fewer
+// times than requests, every response equal to single-request Predict.
+func TestServerInferCoalescing(t *testing.T) {
+	s, ts, m := newTestServer(t)
+
+	// Swap in a counting backend behind the model's batcher.
+	backend := &countingBackend{Backend: npu.New(m)}
+	s.mu.Lock()
+	s.batchers["model-1"] = NewBatcher(backend, m.InputDim(), s.cfg.Batch)
+	s.mu.Unlock()
+
+	const clients = 16
+	inputs := testInputs(clients, 7)
+	outputs := make([][]float64, clients)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			data, _ := json.Marshal(InferRequest{Model: "model-1", Inputs: inputs[i : i+1]})
+			resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(data))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			var out InferResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs[i] = err
+				return
+			}
+			outputs[i] = out.Outputs[0]
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i, in := range inputs {
+		want := m.Predict(in)
+		for o := range want {
+			if outputs[i][o] != want[o] {
+				t.Fatalf("client %d output %d: %g, want %g", i, o, outputs[i][o], want[o])
+			}
+		}
+	}
+	calls := backend.calls.Load()
+	if calls >= clients {
+		t.Fatalf("no coalescing over HTTP: %d device calls for %d requests", calls, clients)
+	}
+	t.Logf("16 HTTP clients served by %d device calls", calls)
+}
+
+func TestServerSimRoundTrip(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+
+	resp, body := postJSON(t, ts.URL+"/v1/sim", quickSim("GTS/ondemand"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sim: %d %s", resp.StatusCode, body)
+	}
+	var snap JobSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+snap.ID {
+		t.Errorf("Location = %q", loc)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cur JobSnapshot
+		r := getJSON(t, ts.URL+"/v1/jobs/"+snap.ID, &cur)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("poll: %d", r.StatusCode)
+		}
+		if cur.State == StateDone {
+			if cur.Result == nil || cur.Result.AvgTemp <= 0 {
+				t.Fatalf("done without plausible result: %+v", cur.Result)
+			}
+			break
+		}
+		if cur.State == StateFailed || cur.State == StateCanceled {
+			t.Fatalf("job ended %q (%s)", cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var list struct {
+		Jobs []JobSnapshot `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != snap.ID {
+		t.Errorf("job list = %+v", list.Jobs)
+	}
+
+	if r := getJSON(t, ts.URL+"/v1/jobs/j-999999", nil); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job -> %d, want 404", r.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/sim", SimRequest{Policy: "voodoo"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad policy -> %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	// Generate some traffic first.
+	postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "model-1", Inputs: testInputs(2, 9)})
+	getJSON(t, ts.URL+"/v1/healthz", nil)
+	getJSON(t, ts.URL+"/v1/jobs/j-404404", nil)
+
+	var st StatsResponse
+	if r := getJSON(t, ts.URL+"/v1/stats", &st); r.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", r.StatusCode)
+	}
+	infer := st.Endpoints["POST /v1/infer"]
+	if infer.Count != 1 || infer.Latency.Count != 1 {
+		t.Errorf("infer endpoint stats = %+v", infer)
+	}
+	if st.Endpoints["GET /v1/jobs/{id}"].Errors != 1 {
+		t.Errorf("404 not counted as error: %+v", st.Endpoints["GET /v1/jobs/{id}"])
+	}
+	b := st.Batchers["model-1"]
+	if b.Requests != 2 {
+		t.Errorf("batcher stats = %+v", b)
+	}
+	if st.Jobs.Workers != 2 {
+		t.Errorf("runner stats = %+v", st.Jobs)
+	}
+}
+
+func TestServerShutdownRefusesNewWork(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	// Prime the batcher, then shut down.
+	postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "model-1", Inputs: testInputs(1, 11)})
+	s.Shutdown(context.Background())
+
+	resp, _ := postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "model-1", Inputs: testInputs(1, 12)})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("infer after shutdown -> %d, want 503", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/sim", quickSim("GTS/ondemand"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("sim after shutdown -> %d, want 503", resp.StatusCode)
+	}
+}

@@ -6,28 +6,58 @@ import (
 	"os"
 )
 
-// jobJSON is the on-disk form of a Job: benchmarks are stored by name plus
-// the (possibly scaled) instruction count, so saved workloads survive
-// catalog recalibrations of per-phase parameters.
-type jobJSON struct {
+// JobEntry is the serialized form of a Job: benchmarks are stored by name
+// plus the (possibly scaled) instruction count, so saved workloads survive
+// catalog recalibrations of per-phase parameters. It is exported so other
+// layers (files, HTTP manifests) share one schema.
+type JobEntry struct {
 	Name       string  `json:"name"`
 	TotalInstr float64 `json:"totalInstr"`
 	QoS        float64 `json:"qos"`
 	Arrival    float64 `json:"arrival"`
 }
 
-// SaveJobs writes a job list as JSON for reproducible experiments.
-func SaveJobs(jobs []Job, path string) error {
-	out := make([]jobJSON, len(jobs))
+// JobsToEntries converts a job list to its serialized form.
+func JobsToEntries(jobs []Job) []JobEntry {
+	out := make([]JobEntry, len(jobs))
 	for i, j := range jobs {
-		out[i] = jobJSON{
+		out[i] = JobEntry{
 			Name:       j.Spec.Name,
 			TotalInstr: j.Spec.TotalInstr,
 			QoS:        j.QoS,
 			Arrival:    j.Arrival,
 		}
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
+	return out
+}
+
+// EntriesToJobs resolves serialized entries against the current benchmark
+// catalog.
+func EntriesToJobs(entries []JobEntry) ([]Job, error) {
+	jobs := make([]Job, 0, len(entries))
+	for i, e := range entries {
+		spec, ok := ByName(e.Name)
+		if !ok {
+			return nil, fmt.Errorf("workload: job %d: unknown benchmark %q", i, e.Name)
+		}
+		if e.TotalInstr <= 0 {
+			return nil, fmt.Errorf("workload: job %d: bad instruction count", i)
+		}
+		spec.TotalInstr = e.TotalInstr
+		if e.QoS < 0 {
+			return nil, fmt.Errorf("workload: job %d: negative QoS target", i)
+		}
+		if e.Arrival < 0 {
+			return nil, fmt.Errorf("workload: job %d: negative arrival time", i)
+		}
+		jobs = append(jobs, Job{Spec: spec, QoS: e.QoS, Arrival: e.Arrival})
+	}
+	return jobs, nil
+}
+
+// SaveJobs writes a job list as JSON for reproducible experiments.
+func SaveJobs(jobs []Job, path string) error {
+	data, err := json.MarshalIndent(JobsToEntries(jobs), "", "  ")
 	if err != nil {
 		return err
 	}
@@ -41,21 +71,13 @@ func LoadJobs(path string) ([]Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	var in []jobJSON
+	var in []JobEntry
 	if err := json.Unmarshal(data, &in); err != nil {
 		return nil, fmt.Errorf("workload: parsing %s: %w", path, err)
 	}
-	jobs := make([]Job, 0, len(in))
-	for i, j := range in {
-		spec, ok := ByName(j.Name)
-		if !ok {
-			return nil, fmt.Errorf("workload: %s: job %d: unknown benchmark %q", path, i, j.Name)
-		}
-		if j.TotalInstr <= 0 {
-			return nil, fmt.Errorf("workload: %s: job %d: bad instruction count", path, i)
-		}
-		spec.TotalInstr = j.TotalInstr
-		jobs = append(jobs, Job{Spec: spec, QoS: j.QoS, Arrival: j.Arrival})
+	jobs, err := EntriesToJobs(in)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", path, err)
 	}
 	return jobs, nil
 }

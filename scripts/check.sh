@@ -1,0 +1,57 @@
+#!/bin/sh
+# Default verify flow: build + vet + tests + race pass over the concurrent
+# packages. `scripts/check.sh smoke` additionally boots topil-serve and
+# drives one infer + sim round trip over HTTP, then drains it with SIGINT.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "smoke" ]; then
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true' EXIT
+
+    go run ./scripts/genmodel "$tmp/model-1.json"
+    go build -o "$tmp/topil-serve" ./cmd/topil-serve
+    addr=127.0.0.1:18923
+    "$tmp/topil-serve" -addr "$addr" -models "$tmp" &
+    pid=$!
+
+    for i in $(seq 1 50); do
+        curl -sf "http://$addr/v1/healthz" >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+
+    zeros=$(seq 21 | awk '{printf "%s0", (NR>1?",":"")}')
+    out=$(curl -sf -X POST "http://$addr/v1/infer" \
+        -d "{\"model\":\"model-1\",\"inputs\":[[$zeros]]}")
+    echo "$out" | grep -q '"outputs"' || { echo "infer failed: $out"; exit 1; }
+
+    job=$(curl -sf -X POST "http://$addr/v1/sim" \
+        -d '{"policy":"GTS/ondemand","duration":2,"numJobs":2,"rate":2,"instrScale":0.02}' \
+        | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+    [ -n "$job" ] || { echo "sim submission failed"; exit 1; }
+    state=""
+    for i in $(seq 1 100); do
+        state=$(curl -sf "http://$addr/v1/jobs/$job" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+        [ "$state" = "done" ] && break
+        [ "$state" = "failed" ] && { echo "sim job failed"; exit 1; }
+        sleep 0.2
+    done
+    [ "$state" = "done" ] || { echo "sim job stuck in state '$state'"; exit 1; }
+
+    kill -INT "$pid"
+    wait "$pid" || { echo "server did not drain cleanly"; exit 1; }
+    pid=""
+    echo "serve smoke OK (infer + sim round trip + graceful drain)"
+    exit 0
+fi
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test ./..."
+go test ./...
+echo "== go test -race (serve, npu, nn)"
+go test -race ./internal/serve/... ./internal/npu/... ./internal/nn/...
+echo "all checks passed"

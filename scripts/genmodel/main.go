@@ -1,0 +1,36 @@
+// Command genmodel writes an untrained IL model artifact with the
+// platform's feature dimensions — a stand-in for smoke tests and serving
+// demos when no trained artifact is at hand (predictions are meaningless
+// but shape-correct). Train a real one with cmd/topil-train.
+//
+//	go run ./scripts/genmodel [-seed 1] path/to/model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/platform"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "weight initialization seed")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: genmodel [-seed N] <output.json>")
+		os.Exit(2)
+	}
+	plat := platform.HiKey970()
+	in := features.Dim(plat.NumCores(), plat.NumClusters())
+	m := nn.NewMLP([]int{in, 64, 64, 64, 64, plat.NumCores()}, *seed)
+	if err := core.SaveModel(m, flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "genmodel: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote untrained %d->%d model (%d params) to %s\n",
+		in, plat.NumCores(), m.NumParams(), flag.Arg(0))
+}
