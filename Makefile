@@ -1,11 +1,11 @@
 # Development targets. `make check` is the default verify flow:
-# build + vet + full tests + race pass over the concurrent packages.
+# build + vet + lint + full tests + race pass over the concurrent packages.
 
 GO ?= go
 
-.PHONY: check build vet test race serve-smoke
+.PHONY: check build vet lint test race serve-smoke
 
-check: build vet test race
+check: build vet lint test race
 
 build:
 	$(GO) build ./...
@@ -13,13 +13,24 @@ build:
 vet:
 	$(GO) vet ./...
 
+# topil-lint enforces the repo's own invariants: determinism (detrand),
+# mutex hygiene (lockcheck), unit annotations (unitcheck) and process-exit
+# discipline (exitcheck). See docs/ANALYSIS.md.
+lint:
+	$(GO) run ./cmd/topil-lint ./...
+
 test:
 	$(GO) test ./...
 
-# The serving subsystem is concurrency-heavy; always race-check it together
-# with the inference substrate it shares models with.
+# Race pass over every package that runs goroutines: the serving stack, the
+# inference substrate it shares models with, and the simulation/workload/
+# experiment layers. The experiments package runs with -short so the race
+# detector's ~20x slowdown doesn't blow the test timeout on the full
+# oracle+training pipeline; its artifact and concurrency tests still run.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/npu/... ./internal/nn/...
+	$(GO) test -race ./internal/serve/... ./internal/npu/... ./internal/nn/... \
+		./internal/workload/... ./internal/sim/...
+	$(GO) test -race -short ./internal/experiments/...
 
 # Quick end-to-end: build the service and exercise one infer round trip.
 serve-smoke:

@@ -1,0 +1,142 @@
+// Command topil-lint runs the repository's custom static-analysis suite
+// (internal/analysis) over the given package patterns: detrand (no global
+// RNG or wall clock in the deterministic packages), lockcheck (mutex copy
+// and Lock/Unlock pairing hygiene), unitcheck (unit annotations on
+// physical float64 fields and parameters) and exitcheck (no os.Exit /
+// log.Fatal / undocumented panic in library code).
+//
+// Exit status: 0 when the tree is clean, 3 when findings are reported,
+// 1 on operational errors (bad pattern, unreadable files).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	flag.Usage = usage
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	rules := flag.String("rules", "all", "comma-separated rules to run (\"all\" = full suite)")
+	disable := flag.String("disable", "", "comma-separated rules to skip")
+	typeErrs := flag.Bool("typeerrors", false, "also print type-checker errors (analysis is best-effort without)")
+	flag.Parse()
+
+	code, err := run(flag.Args(), *rules, *disable, *jsonOut, *typeErrs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topil-lint: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "Usage: topil-lint [flags] [patterns]\n\n")
+	fmt.Fprintf(os.Stderr, "Patterns are package directories or recursive forms like ./... (default ./...).\n")
+	fmt.Fprintf(os.Stderr, "Suppress a finding with `//lint:ignore <rule> <reason>` on or above its line.\n\nRules:\n")
+	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nFlags:\n")
+	flag.PrintDefaults()
+}
+
+// selectAnalyzers resolves the -rules/-disable flags against the suite.
+func selectAnalyzers(rules, disable string) ([]*analysis.Analyzer, error) {
+	suite := analysis.All()
+	var picked []*analysis.Analyzer
+	if rules == "all" || rules == "" {
+		picked = suite
+	} else {
+		for _, name := range strings.Split(rules, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(suite, name)
+			if a == nil {
+				return nil, fmt.Errorf("unknown rule %q (have: %s)", name, ruleNames(suite))
+			}
+			picked = append(picked, a)
+		}
+	}
+	if disable != "" {
+		skip := map[string]bool{}
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if analysis.ByName(suite, name) == nil {
+				return nil, fmt.Errorf("unknown rule %q in -disable (have: %s)", name, ruleNames(suite))
+			}
+			skip[name] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range picked {
+			if !skip[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		picked = kept
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("no rules selected")
+	}
+	return picked, nil
+}
+
+func ruleNames(suite []*analysis.Analyzer) string {
+	names := make([]string, len(suite))
+	for i, a := range suite {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+func run(patterns []string, rules, disable string, jsonOut, typeErrs bool) (int, error) {
+	analyzers, err := selectAnalyzers(rules, disable)
+	if err != nil {
+		return 0, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	if typeErrs {
+		for _, p := range pkgs {
+			for _, e := range p.TypeErrors {
+				fmt.Fprintf(os.Stderr, "topil-lint: typecheck %s: %v\n", p.Path, e)
+			}
+		}
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+		if len(diags) > 0 {
+			fmt.Printf("topil-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		return 3, nil
+	}
+	return 0, nil
+}

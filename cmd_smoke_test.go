@@ -106,6 +106,8 @@ func TestCommandsFailCleanly(t *testing.T) {
 		{"topil-sim", []string{"-technique", "GTS/ondemand", "-workload", "/nonexistent/jobs.json"}},
 		{"topil-serve", []string{"-models", "/nonexistent/dir"}},
 		{"topil-serve", []string{"-workers", "-1"}},
+		{"topil-lint", []string{"-rules", "nosuchrule", "./cmd/topil-lint"}},
+		{"topil-lint", []string{"/nonexistent"}},
 	}
 	for _, c := range cases {
 		bin, ok := bins[c.bin]
@@ -120,5 +122,26 @@ func TestCommandsFailCleanly(t *testing.T) {
 		// Progress logs share stderr; the error is the last line.
 		lines := strings.Split(strings.TrimRight(stderr, "\n"), "\n")
 		oneLine(t, c.bin, lines[len(lines)-1])
+	}
+}
+
+// TestLintExitCodes pins topil-lint's exit-code contract: 0 on a clean
+// tree, 3 when findings are reported (distinct from 1, operational error,
+// covered by TestCommandsFailCleanly).
+func TestLintExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCommands(t)
+	bin := bins["topil-lint"]
+
+	code, stderr := runBin(t, bin, "./cmd/topil-lint")
+	if code != 0 {
+		t.Errorf("lint over a clean package exited %d, want 0\n%s", code, stderr)
+	}
+
+	code, _ = runBin(t, bin, "internal/analysis/testdata/src/fixture/...")
+	if code != 3 {
+		t.Errorf("lint over the known-bad fixture exited %d, want 3", code)
 	}
 }

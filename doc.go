@@ -21,10 +21,15 @@
 //	internal/{rl,governor}                               baselines
 //	internal/experiments  every figure of the evaluation
 //	internal/serve        HTTP service: batched inference + sim job pool
+//	internal/analysis     custom static analysis (cmd/topil-lint)
 //	cmd/...               train / simulate / reproduce-all tools
 //	examples/...          runnable API demos
 //
 // See README.md for usage, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for paper-vs-measured results.
 // The benchmark harness in bench_test.go regenerates every table and figure.
+// docs/ANALYSIS.md documents the repository's own lint suite (topil-lint),
+// which machine-checks the determinism, mutex-hygiene, physical-unit and
+// process-exit conventions the reproduction relies on; `make check` runs it
+// between vet and the tests.
 package repro

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDriverFixtureJSON runs the full suite over a known-bad fixture tree
+// and asserts the JSON diagnostics end to end: one finding per rule, the
+// badignore reports for a malformed and an unused directive, stable
+// ordering, and the exact serialized field set.
+func TestDriverFixtureJSON(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("testdata/src/fixture/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, All())
+
+	fixture := filepath.Join("testdata", "src", "fixture", "internal", "sim", "fixture.go")
+	want := []struct {
+		rule    string
+		line    int
+		message string // substring
+	}{
+		{"unitcheck", 14, "declares no unit"},
+		{"lockcheck", 19, "not released"},
+		{"detrand", 20, "reads the wall clock"},
+		{"exitcheck", 26, "skips deferred cleanup"},
+		{"badignore", 32, "suppresses nothing"},
+		{"badignore", 38, "needs a rule name"},
+	}
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(want))
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.Rule != w.rule || d.Line != w.line || d.File != fixture ||
+			!strings.Contains(d.Message, w.message) {
+			t.Errorf("diag[%d] = %s, want rule=%s line=%d message~%q",
+				i, d, w.rule, w.line, w.message)
+		}
+	}
+
+	// The JSON form must expose exactly rule/message/file/line/col — the
+	// contract cmd/topil-lint -json prints and CI consumers parse.
+	raw, err := json.Marshal(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range decoded {
+		if len(m) != 5 {
+			t.Errorf("diag[%d] JSON has keys %v, want exactly rule/message/file/line/col", i, keys(m))
+		}
+		for _, k := range []string{"rule", "message", "file", "line", "col"} {
+			if _, ok := m[k]; !ok {
+				t.Errorf("diag[%d] JSON missing key %q", i, k)
+			}
+		}
+	}
+	if decoded[0]["file"] != fixture || decoded[0]["rule"] != "unitcheck" {
+		t.Errorf("diag[0] JSON = %v, want file=%s rule=unitcheck", decoded[0], fixture)
+	}
+}
+
+// TestRuleSelection checks ByName and that an ignore for a disabled rule is
+// not reported as unused (the rule might fire in a fuller run).
+func TestRuleSelection(t *testing.T) {
+	if a := ByName(All(), "detrand"); a == nil || a.Name != "detrand" {
+		t.Fatalf("ByName(detrand) = %v", a)
+	}
+	if a := ByName(All(), "nosuchrule"); a != nil {
+		t.Fatalf("ByName(nosuchrule) = %v, want nil", a)
+	}
+
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("testdata/src/fixture/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run only exitcheck: the unused `//lint:ignore detrand` must not be
+	// flagged because detrand is not in the active suite, while the
+	// malformed directive always is.
+	diags := Run(pkgs, []*Analyzer{ExitCheck()})
+	var rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+	}
+	if len(diags) != 2 || diags[0].Rule != "exitcheck" || diags[1].Rule != "badignore" ||
+		!strings.Contains(diags[1].Message, "needs a rule name") {
+		t.Fatalf("exitcheck-only run produced %v, want [exitcheck badignore(malformed)]", rules)
+	}
+}
+
+func keys(m map[string]any) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

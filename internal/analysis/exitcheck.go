@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ExitCheck returns the process-exit discipline analyzer.
+//
+// Library code must report failures as errors and leave process control to
+// the binaries: os.Exit and log.Fatal* skip deferred cleanup (the serve
+// drain path relies on defers) and make code untestable, so they are
+// confined to package main. panic is reserved for programmer-error
+// invariants — and then the enclosing function's doc comment must say so
+// (as platform.New does: "New panics otherwise because a malformed
+// platform is a programming error"), so the contract is visible at the
+// call site documentation, not just in the stack trace.
+func ExitCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "exitcheck",
+		Doc: "forbid os.Exit and log.Fatal* outside package main, and panic in " +
+			"library code unless the enclosing function's doc comment documents " +
+			"the panic as an invariant violation",
+	}
+	a.Run = runExitCheck
+	return a
+}
+
+func runExitCheck(pass *Pass) {
+	isMain := len(pass.Pkg.Files) > 0 && pass.Pkg.Files[0].Name.Name == "main"
+	for _, f := range pass.Pkg.Files {
+		// Resolve the local names of os and log in this file.
+		locals := map[string]string{}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != "os" && path != "log" {
+				continue
+			}
+			name := path
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name != "_" && name != "." {
+				locals[name] = path
+			}
+		}
+
+		// Walk declarations so every node can be attributed to its
+		// enclosing function declaration (for doc-comment lookup).
+		for _, decl := range f.Decls {
+			fd, _ := decl.(*ast.FuncDecl)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					if fun.Name == "panic" && !isMain && !isBuiltinShadowed(pass, fun) {
+						if !panicDocumented(fd) {
+							pass.Reportf(call.Pos(),
+								"panic in library code: document the invariant in %s's doc comment (\"... panics if ...\") or return an error",
+								funcName(fd))
+						}
+					}
+				case *ast.SelectorExpr:
+					ident, ok := fun.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					path, ok := locals[ident.Name]
+					if !ok || isMain {
+						return true
+					}
+					if obj := pass.Pkg.Info.Uses[ident]; obj != nil {
+						if _, isPkg := obj.(*types.PkgName); !isPkg {
+							return true
+						}
+					}
+					sel := fun.Sel.Name
+					if path == "os" && sel == "Exit" {
+						pass.Reportf(call.Pos(),
+							"os.Exit in library code skips deferred cleanup; return an error and let package main exit")
+					}
+					if path == "log" && (sel == "Fatal" || sel == "Fatalf" || sel == "Fatalln") {
+						pass.Reportf(call.Pos(),
+							"log.%s in library code exits the process; return an error and let package main decide",
+							sel)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// panicDocumented reports whether the function's doc comment mentions the
+// panic contract.
+func panicDocumented(fd *ast.FuncDecl) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	return strings.Contains(strings.ToLower(fd.Doc.Text()), "panic")
+}
+
+// funcName names the enclosing declaration for the diagnostic.
+func funcName(fd *ast.FuncDecl) string {
+	if fd == nil {
+		return "the enclosing declaration"
+	}
+	return fd.Name.Name
+}
+
+// isBuiltinShadowed reports whether this use of `panic` resolves to a
+// user-defined object rather than the builtin.
+func isBuiltinShadowed(pass *Pass, ident *ast.Ident) bool {
+	obj := pass.Pkg.Info.Uses[ident]
+	if obj == nil {
+		return false // unresolved: assume the builtin
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return !isBuiltin
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runGolden loads testdata/src/<dir> and checks the produced diagnostics
+// against `// want "substring"` comments: every line carrying a want
+// comment must produce a diagnostic containing the substring, and no
+// diagnostic may appear on a line without one. Multiple want comments on
+// one line demand multiple diagnostics.
+func runGolden(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", dir)
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(root + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under %s", root)
+	}
+	diags := Run(pkgs, analyzers)
+
+	// Collect want expectations from the raw comments of every file.
+	wantPat := regexp.MustCompile(`// want "([^"]+)"`)
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]string{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantPat.FindAllStringSubmatch(c.Text, -1) {
+						pos := pkg.Fset.Position(c.Pos())
+						rel := relPath(t, pos.Filename)
+						wants[key{rel, pos.Line}] = append(wants[key{rel, pos.Line}], m[1])
+					}
+				}
+			}
+		}
+	}
+
+	matched := map[key]int{}
+	for _, d := range diags {
+		k := key{d.File, d.Line}
+		exp := wants[k]
+		if matched[k] < len(exp) && strings.Contains(d.Message, exp[matched[k]]) {
+			matched[k]++
+			continue
+		}
+		// Allow out-of-order matching of several wants on one line.
+		found := false
+		for _, w := range exp {
+			if strings.Contains(d.Message, w) {
+				matched[k]++
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for k, exp := range wants {
+		if matched[k] < len(exp) {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				k.file, k.line, exp)
+		}
+	}
+}
+
+// relPath mirrors the driver's diagnostic path relativization.
+func relPath(t *testing.T, file string) string {
+	t.Helper()
+	if !filepath.IsAbs(file) {
+		return file
+	}
+	wd, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(wd, file)
+	if err != nil {
+		return file
+	}
+	return rel
+}
+
+func TestDetRandGolden(t *testing.T)   { runGolden(t, "detrand", DetRand()) }
+func TestLockCheckGolden(t *testing.T) { runGolden(t, "lockcheck", LockCheck()) }
+func TestUnitCheckGolden(t *testing.T) { runGolden(t, "unitcheck", UnitCheck()) }
+func TestExitCheckGolden(t *testing.T) { runGolden(t, "exitcheck", ExitCheck()) }

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// An ignoreDirective is one parsed //lint:ignore comment. It suppresses
+// findings of the named rule (or every rule, for "all") on its own line
+// and on the line directly below — so it works both trailing the offending
+// statement and on a line of its own above it.
+type ignoreDirective struct {
+	rule      string
+	reason    string
+	file      string
+	line      int
+	pos       token.Position
+	malformed bool
+}
+
+// collectIgnores scans every comment of the package for lint directives.
+func (p *Package) collectIgnores() {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				d := ignoreDirective{file: pos.Filename, line: pos.Line, pos: pos}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					d.malformed = true
+				} else {
+					d.rule = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				p.ignores = append(p.ignores, d)
+			}
+		}
+	}
+}
+
+// ignoreIndex returns the index of a directive suppressing rule at pos,
+// or -1. Malformed directives suppress nothing.
+func (p *Package) ignoreIndex(rule string, pos token.Position) int {
+	for i, d := range p.ignores {
+		if d.malformed || d.file != pos.Filename {
+			continue
+		}
+		if d.rule != rule && d.rule != "all" {
+			continue
+		}
+		if d.line == pos.Line || d.line == pos.Line-1 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,527 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheck returns the mutex-hygiene analyzer. It enforces two families
+// of invariants on every package:
+//
+//   - No copies: types whose value (transitively) contains a sync.Mutex or
+//     sync.RWMutex must not be used as value receivers, passed or returned
+//     by value, or copied by assignment — a copied lock guards nothing.
+//   - No leaks: every mu.Lock()/RLock() must be released in the acquiring
+//     function, either by a defer or by an Unlock on every return path.
+//     Functions that hand a held lock to their caller (or release one the
+//     caller acquired) are the exception and must say so with
+//     //lint:ignore lockcheck <reason>.
+func LockCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "lockcheck",
+		Doc: "forbid value receivers, by-value parameters and copies of types " +
+			"containing sync.Mutex/sync.RWMutex, and require every Lock/RLock " +
+			"to be paired with an Unlock via defer or on all return paths of " +
+			"the acquiring function",
+	}
+	a.Run = runLockCheck
+	return a
+}
+
+func runLockCheck(pass *Pass) {
+	lc := &lockChecker{pass: pass, seen: map[types.Type]bool{}}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			lc.checkReceiver(fd)
+			lc.checkSignature(fd.Type)
+			if fd.Body != nil {
+				lc.checkBody(fd.Body)
+			}
+		}
+		// Copy checks walk everything, including expressions outside
+		// function bodies (package-level var initialisers).
+		ast.Inspect(f, lc.checkCopies)
+		// Function literals get the same body analysis as declarations.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				lc.checkSignature(fl.Type)
+				lc.checkBody(fl.Body)
+			}
+			return true
+		})
+	}
+}
+
+type lockChecker struct {
+	pass *Pass
+	seen map[types.Type]bool // containsLock memo
+}
+
+// containsLock reports whether a value of type t transitively embeds a
+// sync.Mutex or sync.RWMutex, so that copying the value copies lock state.
+func (lc *lockChecker) containsLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := lc.seen[t]; ok {
+		return v
+	}
+	lc.seen[t] = false // break reference cycles
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			if obj.Name() == "Mutex" || obj.Name() == "RWMutex" {
+				result = true
+				break
+			}
+		}
+		result = lc.containsLock(u.Underlying())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lc.containsLock(u.Field(i).Type()) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = lc.containsLock(u.Elem())
+	}
+	lc.seen[t] = result
+	return result
+}
+
+// typeOf resolves the type of e, or nil when type-checking failed there.
+func (lc *lockChecker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := lc.pass.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// checkReceiver flags value receivers on lock-containing types.
+func (lc *lockChecker) checkReceiver(fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return
+	}
+	field := fd.Recv.List[0]
+	t := lc.typeOf(field.Type)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return
+	}
+	if lc.containsLock(t) {
+		lc.pass.Reportf(field.Pos(),
+			"method %s has a value receiver of type %s which contains a mutex; use a pointer receiver",
+			fd.Name.Name, types.TypeString(t, types.RelativeTo(lc.pass.Pkg.Types)))
+	}
+}
+
+// checkSignature flags by-value lock-containing parameters and results.
+func (lc *lockChecker) checkSignature(ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := lc.typeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue
+			}
+			if lc.containsLock(t) {
+				lc.pass.Reportf(field.Pos(),
+					"%s of type %s contains a mutex and is passed by value; use a pointer",
+					what, types.TypeString(t, types.RelativeTo(lc.pass.Pkg.Types)))
+			}
+		}
+	}
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+// fresh reports whether e denotes a brand-new value (no prior lock state
+// to copy): composite literals, calls, conversions and parenthesised
+// forms thereof.
+func fresh(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit, *ast.CallExpr:
+		return true
+	case *ast.ParenExpr:
+		return fresh(v.X)
+	}
+	return false
+}
+
+// checkCopies flags assignments and range clauses that copy lock state.
+// (By-value parameters and results are reported at the signature instead,
+// so call sites and returns are not double-flagged here.)
+func (lc *lockChecker) checkCopies(n ast.Node) bool {
+	report := func(e ast.Expr, t types.Type) {
+		lc.pass.Reportf(e.Pos(),
+			"copies lock state: value of type %s contains a mutex; copy a pointer instead",
+			types.TypeString(t, types.RelativeTo(lc.pass.Pkg.Types)))
+	}
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			if fresh(rhs) {
+				continue
+			}
+			if t := lc.typeOf(rhs); t != nil && lc.containsLock(t) {
+				report(rhs, t)
+			}
+		}
+	case *ast.GenDecl:
+		for _, spec := range st.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, rhs := range vs.Values {
+				if fresh(rhs) {
+					continue
+				}
+				if t := lc.typeOf(rhs); t != nil && lc.containsLock(t) {
+					report(rhs, t)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if st.Value != nil {
+			t := lc.typeOf(st.Value)
+			if t == nil {
+				// A `for _, v := range xs` value lands in Defs, not Types.
+				if id, ok := st.Value.(*ast.Ident); ok {
+					if obj := lc.pass.Pkg.Info.Defs[id]; obj != nil {
+						t = obj.Type()
+					}
+				}
+			}
+			if t != nil && lc.containsLock(t) {
+				report(st.Value, t)
+			}
+		}
+	}
+	return true
+}
+
+// ---- Lock/Unlock pairing ------------------------------------------------
+
+// lockOpKind classifies the four sync (R)Lock/(R)Unlock methods.
+type lockOpKind int
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+	opRLock
+	opRUnlock
+	opTryLock
+)
+
+// lockOp matches a call like x.mu.Lock() where the method genuinely comes
+// from package sync (directly or via embedding), returning a stable key
+// for the lock expression. ok is false for anything else.
+func (lc *lockChecker) lockOp(call *ast.CallExpr) (key string, kind lockOpKind, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		kind = opLock
+	case "Unlock":
+		kind = opUnlock
+	case "RLock":
+		kind = opRLock
+	case "RUnlock":
+		kind = opRUnlock
+	case "TryLock", "TryRLock":
+		kind = opTryLock
+	default:
+		return "", 0, false
+	}
+	selection, found := lc.pass.Pkg.Info.Selections[sel]
+	if !found {
+		// Unresolved (type error) or package-qualified: not a method call.
+		return "", 0, false
+	}
+	obj := selection.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	key = types.ExprString(sel.X)
+	if kind == opRLock || kind == opRUnlock {
+		key += "/R"
+	}
+	return key, kind, true
+}
+
+// lockState is the abstract state of the pairing walker: which lock keys
+// are held, which have a pending deferred release, and which are managed
+// by the caller (first seen being unlocked, a documented handoff pattern —
+// those keys are exempt in this function).
+type lockState struct {
+	held       map[string]token.Pos
+	deferred   map[string]bool
+	external   map[string]bool
+	terminated bool
+}
+
+func newLockState() *lockState {
+	return &lockState{
+		held:     map[string]token.Pos{},
+		deferred: map[string]bool{},
+		external: map[string]bool{},
+	}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	for k := range s.external {
+		c.external[k] = true
+	}
+	c.terminated = s.terminated
+	return c
+}
+
+// merge combines the states of alternative branches: a lock counts as held
+// only if held on every live branch (leaks are reported at returns inside
+// the branches themselves), while defers and caller-managed marks persist
+// if any branch set them.
+func merge(states ...*lockState) *lockState {
+	var live []*lockState
+	for _, s := range states {
+		if s != nil && !s.terminated {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		s := newLockState()
+		s.terminated = true
+		return s
+	}
+	out := live[0].clone()
+	for k, pos := range live[0].held {
+		heldEverywhere := true
+		for _, s := range live[1:] {
+			if _, ok := s.held[k]; !ok {
+				heldEverywhere = false
+				break
+			}
+		}
+		if !heldEverywhere {
+			delete(out.held, k)
+		} else {
+			out.held[k] = pos
+		}
+	}
+	for _, s := range live[1:] {
+		for k := range s.deferred {
+			out.deferred[k] = true
+		}
+		for k := range s.external {
+			out.external[k] = true
+		}
+	}
+	return out
+}
+
+// checkBody runs the pairing walker over one function body. Nested
+// function literals are skipped here; runLockCheck analyses them
+// separately with their own state.
+func (lc *lockChecker) checkBody(body *ast.BlockStmt) {
+	reported := map[token.Pos]bool{}
+	leak := func(s *lockState, where string) {
+		for k, pos := range s.held {
+			if s.deferred[k] || s.external[k] || reported[pos] {
+				continue
+			}
+			reported[pos] = true
+			lc.pass.Reportf(pos,
+				"%s is not released %s; unlock on every path or defer the unlock (use //lint:ignore lockcheck for intentional handoff)",
+				lockName(k), where)
+		}
+	}
+	final := lc.walkStmts(body.List, newLockState(), leak)
+	if !final.terminated {
+		leak(final, "by the end of the function")
+	}
+}
+
+// lockName renders a state key back into the source-level call.
+func lockName(key string) string {
+	if k, ok := cutSuffix(key, "/R"); ok {
+		return k + ".RLock()"
+	}
+	return key + ".Lock()"
+}
+
+func cutSuffix(s, suffix string) (string, bool) {
+	if len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix {
+		return s[:len(s)-len(suffix)], true
+	}
+	return s, false
+}
+
+// walkStmts interprets a statement list, tracking lock state. leak is
+// called at every exit point with the state at that point.
+func (lc *lockChecker) walkStmts(stmts []ast.Stmt, st *lockState, leak func(*lockState, string)) *lockState {
+	for _, stmt := range stmts {
+		st = lc.walkStmt(stmt, st, leak)
+		if st.terminated {
+			break
+		}
+	}
+	return st
+}
+
+func (lc *lockChecker) walkStmt(stmt ast.Stmt, st *lockState, leak func(*lockState, string)) *lockState {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return lc.walkStmts(s.List, st, leak)
+
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			lc.applyCall(call, st)
+		}
+
+	case *ast.DeferStmt:
+		if key, kind, ok := lc.lockOp(s.Call); ok && (kind == opUnlock || kind == opRUnlock) {
+			st.deferred[key] = true
+			break
+		}
+		// defer func() { ...; mu.Unlock() }() also releases.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if key, kind, ok := lc.lockOp(call); ok && (kind == opUnlock || kind == opRUnlock) {
+						st.deferred[key] = true
+					}
+				}
+				return true
+			})
+		}
+
+	case *ast.ReturnStmt:
+		leak(st, "on a return path")
+		st = st.clone()
+		st.terminated = true
+		return st
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = lc.walkStmt(s.Init, st, leak)
+		}
+		then := lc.walkStmts(s.Body.List, st.clone(), leak)
+		els := st.clone()
+		if s.Else != nil {
+			els = lc.walkStmt(s.Else, st.clone(), leak)
+		}
+		return merge(then, els)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = lc.walkStmt(s.Init, st, leak)
+		}
+		// The body must be lock-neutral across iterations; reports inside
+		// still fire. After the loop, keep the entry state (conservative:
+		// a `for {}` with break is treated as falling through).
+		lc.walkStmts(s.Body.List, st.clone(), leak)
+		return st
+
+	case *ast.RangeStmt:
+		lc.walkStmts(s.Body.List, st.clone(), leak)
+		return st
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var init ast.Stmt
+		var clauses []ast.Stmt
+		hasDefault := false
+		switch sw := stmt.(type) {
+		case *ast.SwitchStmt:
+			init, clauses = sw.Init, sw.Body.List
+		case *ast.TypeSwitchStmt:
+			init, clauses = sw.Init, sw.Body.List
+		case *ast.SelectStmt:
+			clauses, hasDefault = sw.Body.List, true // select blocks until some case runs
+		}
+		if init != nil {
+			st = lc.walkStmt(init, st, leak)
+		}
+		outs := []*lockState{}
+		for _, cl := range clauses {
+			var body []ast.Stmt
+			switch c := cl.(type) {
+			case *ast.CaseClause:
+				if c.List == nil {
+					hasDefault = true
+				}
+				body = c.Body
+			case *ast.CommClause:
+				body = c.Body
+			}
+			outs = append(outs, lc.walkStmts(body, st.clone(), leak))
+		}
+		if !hasDefault || len(clauses) == 0 {
+			outs = append(outs, st.clone()) // no case may match
+		}
+		return merge(outs...)
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear walk; treat as terminated
+		// so no spurious end-of-function leak is reported.
+		st = st.clone()
+		st.terminated = true
+		return st
+
+	case *ast.LabeledStmt:
+		return lc.walkStmt(s.Stmt, st, leak)
+
+	case *ast.GoStmt:
+		// The spawned goroutine has its own discipline; literals are
+		// analysed separately.
+	}
+	return st
+}
+
+// applyCall updates the state for a (potential) lock operation.
+func (lc *lockChecker) applyCall(call *ast.CallExpr, st *lockState) {
+	key, kind, ok := lc.lockOp(call)
+	if !ok {
+		return
+	}
+	switch kind {
+	case opLock, opRLock:
+		if _, already := st.held[key]; already && kind == opLock && !st.external[key] {
+			lc.pass.Reportf(call.Pos(), "%s is already held here; this Lock deadlocks", lockName(key))
+		}
+		st.held[key] = call.Pos()
+	case opUnlock, opRUnlock:
+		if _, ok := st.held[key]; !ok && !st.deferred[key] {
+			// Releasing a lock this function never took: the caller
+			// manages it. Exempt the key for the rest of the walk.
+			st.external[key] = true
+			return
+		}
+		delete(st.held, key)
+	case opTryLock:
+		// Conditional acquisition; exempt the key rather than guess.
+		st.external[key] = true
+	}
+}

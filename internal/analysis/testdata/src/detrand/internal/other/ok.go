@@ -1,0 +1,14 @@
+// Package other is NOT in the deterministic set (internal/other), so
+// wall-clock reads and global rand are allowed here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Allowed uses both freely; detrand must stay silent.
+func Allowed() float64 {
+	_ = time.Now()
+	return rand.Float64()
+}

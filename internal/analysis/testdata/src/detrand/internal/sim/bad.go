@@ -1,0 +1,30 @@
+// Package sim is a fixture mimicking a deterministic package; its import
+// path ends in internal/sim, so detrand applies.
+package sim
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+// Bad exercises every detrand violation class.
+func Bad() float64 {
+	start := time.Now()        // want "reads the wall clock"
+	_ = time.Since(start)      // want "reads the wall clock"
+	x := rand.Float64()        // want "process-global RNG"
+	x += float64(rand.Intn(8)) // want "process-global RNG"
+	rand.Seed(42)              // want "process-global RNG"
+	buf := make([]byte, 4)
+	_, _ = crand.Read(buf) // want "non-deterministic"
+	return x
+}
+
+// Good shows the sanctioned pattern: an explicit seeded generator.
+func Good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Elapsed takes simulated time as input instead of reading a clock.
+func Elapsed(now, start time.Duration) time.Duration { return now - start }

@@ -1,0 +1,15 @@
+package sim
+
+import "time"
+
+// Wallclock is intentionally non-deterministic and documents why; the
+// directive keeps detrand quiet.
+func Wallclock() time.Time {
+	//lint:ignore detrand fixture demonstrating an intentional wall-clock read
+	return time.Now()
+}
+
+// Trailing demonstrates the same-line directive form.
+func Trailing() time.Time {
+	return time.Now() //lint:ignore detrand fixture trailing-comment suppression
+}

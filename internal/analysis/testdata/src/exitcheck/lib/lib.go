@@ -1,0 +1,49 @@
+// Package lib is a non-main fixture for the process-exit analyzer.
+package lib
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+// Bail exits directly from library code.
+func Bail() {
+	os.Exit(1) // want "skips deferred cleanup"
+}
+
+// Die uses the fatal logger family.
+func Die(err error) {
+	log.Fatal(err)             // want "exits the process"
+	log.Fatalf("bad: %v", err) // want "exits the process"
+	log.Fatalln(err)           // want "exits the process"
+}
+
+// Check validates n; its doc comment says nothing about blowing up.
+func Check(n int) {
+	if n < 0 {
+		panic("negative") // want "document the invariant"
+	}
+}
+
+// MustCheck panics if n is negative; documented, so exitcheck allows it.
+func MustCheck(n int) {
+	if n < 0 {
+		panic("negative")
+	}
+}
+
+// Validate returns an error instead; the non-fatal logger is fine.
+func Validate(n int) error {
+	if n < 0 {
+		log.Printf("rejecting %d", n)
+		return errors.New("negative")
+	}
+	return nil
+}
+
+// shadowed defines a local panic; the builtin is not involved.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -1,0 +1,10 @@
+package lib
+
+import "os"
+
+// HardStop is an intentional process kill in a fixture; the directive
+// documents it.
+func HardStop() {
+	//lint:ignore exitcheck fixture demonstrating an intentional direct exit
+	os.Exit(2)
+}

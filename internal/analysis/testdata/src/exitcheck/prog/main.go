@@ -1,0 +1,17 @@
+// Command prog shows that package main is exempt from exitcheck.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func run() error { return nil }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	panic("mains may panic without a doc contract")
+	os.Exit(0)
+}

@@ -1,0 +1,40 @@
+// Package sim is a deliberately bad fixture for the driver test: its
+// import path ends in internal/sim so every rule of the suite applies.
+package sim
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// State carries a mutex and an unannotated physical quantity.
+type State struct {
+	mu   sync.Mutex
+	Temp float64
+}
+
+// Sample reads the wall clock and leaks the lock on return.
+func Sample(s *State) float64 {
+	s.mu.Lock()
+	_ = time.Now()
+	return s.Temp
+}
+
+// Abort exits directly from library code.
+func Abort() {
+	os.Exit(3)
+}
+
+// Reset carries an unused suppression: nothing on this line or the next
+// violates detrand.
+func Reset(s *State) {
+	//lint:ignore detrand nothing here actually needs this
+	s.Temp = 0
+}
+
+// Broken carries a malformed directive (no rule, no reason).
+func Broken(s *State) {
+	//lint:ignore
+	s.Temp = 1
+}

@@ -1,0 +1,134 @@
+// Package lockcheck is a fixture exercising the mutex-hygiene analyzer.
+package lockcheck
+
+import "sync"
+
+// Counter holds a mutex; copying it copies lock state.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Wrapper embeds a lock-bearing struct transitively.
+type Wrapper struct {
+	inner Counter
+}
+
+// ByValue has a value receiver on a mutex-bearing type.
+func (c Counter) ByValue() int { // want "value receiver"
+	return c.n
+}
+
+// ByPointer is the correct form.
+func (c *Counter) ByPointer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// TakesByValue copies the lock through a parameter.
+func TakesByValue(c Counter) {} // want "passed by value"
+
+// TakesWrapped copies a transitively lock-bearing struct.
+func TakesWrapped(w Wrapper) {} // want "passed by value"
+
+// TakesPointer is fine.
+func TakesPointer(c *Counter) {}
+
+// CopyAssign copies an existing value by assignment.
+func CopyAssign(c *Counter) {
+	cp := *c // want "copies lock state"
+	cp.n++
+	fresh := Counter{} // composite literal: brand new, no copied state
+	fresh.n++
+}
+
+// RangeCopy copies each element into the loop variable.
+func RangeCopy(cs []Counter) {
+	for _, c := range cs { // want "copies lock state"
+		_ = c.n
+	}
+	for i := range cs { // index form is fine
+		cs[i].n++
+	}
+}
+
+// LeakNoUnlock never releases.
+func LeakNoUnlock(c *Counter) {
+	c.mu.Lock() // want "not released"
+	c.n++
+}
+
+// LeakOnEarlyReturn misses the unlock on one return path.
+func LeakOnEarlyReturn(c *Counter, bail bool) int {
+	c.mu.Lock() // want "not released"
+	if bail {
+		return 0
+	}
+	c.n++
+	c.mu.Unlock()
+	return c.n
+}
+
+// BranchUnlockOK releases on every path without defer.
+func BranchUnlockOK(c *Counter, bail bool) int {
+	c.mu.Lock()
+	if bail {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// DeferOK releases via defer.
+func DeferOK(c *Counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// DeferClosureOK releases inside a deferred function literal.
+func DeferClosureOK(c *Counter) int {
+	c.mu.Lock()
+	defer func() {
+		c.n = 0
+		c.mu.Unlock()
+	}()
+	return c.n
+}
+
+// DoubleLock deadlocks on itself.
+func DoubleLock(c *Counter) {
+	c.mu.Lock()
+	c.mu.Lock() // want "already held"
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// RW pairs read locks with read unlocks.
+type RW struct {
+	mu sync.RWMutex
+	v  int
+}
+
+// ReadLeak takes a read lock and never releases it.
+func (r *RW) ReadLeak() int {
+	r.mu.RLock() // want "not released"
+	return r.v
+}
+
+// ReadOK is the correct form.
+func (r *RW) ReadOK() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+// unlockOnly releases a lock its caller acquired (handoff); the analyzer
+// exempts locks first seen being released.
+func unlockOnly(c *Counter) {
+	c.n++
+	c.mu.Unlock()
+}

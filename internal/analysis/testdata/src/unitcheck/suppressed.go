@@ -1,0 +1,7 @@
+package unitcheck
+
+// Opaque wraps a quantity whose unit genuinely depends on the caller.
+type Opaque struct {
+	//lint:ignore unitcheck unit is caller-defined, documented at the use sites
+	Temp float64
+}

@@ -1,0 +1,49 @@
+// Package unitcheck is a fixture exercising the physical-unit annotation
+// analyzer.
+package unitcheck
+
+// Sample mixes annotated and bare quantity fields.
+type Sample struct {
+	Freq     float64 // Hz
+	Temp     float64 // want "declares no unit"
+	Power    float64 // W
+	Voltage  float64 // want "declares no unit"
+	EnergyMJ float64 // millijoules, encoded in the name
+	MeanIPS  float64 // want "declares no unit"
+	Latency  float64 // seconds
+	Count    int     // not a float quantity; ignored
+	label    string  // unexported; ignored
+}
+
+// Temps carries a slice quantity without any annotation.
+type Temps struct {
+	CoreTemps []float64 // want "declares no unit"
+}
+
+// Scale is annotated through its doc comment instead of a trailing one.
+type Scale struct {
+	// TempDelta is the per-step rise in °C.
+	TempDelta []float64
+}
+
+// SetFreq documents the unit of its parameter in the doc comment.
+// The freq argument is in Hz.
+func SetFreq(freq float64) {}
+
+// SetFreqHz carries the unit in the parameter name itself.
+func SetFreqHz(freqHz float64) {}
+
+// SetTemp gives no hint anywhere.
+func SetTemp(temp float64) {} // want "states a unit"
+
+// Mix documents its parameters' units in the doc comment: both are in
+// watts, so neither is flagged.
+func Mix(power, voltage float64) {}
+
+// Drive mixes a unit-bearing name with a bare quantity name.
+func Drive(freqHz, temp float64) {} // want "states a unit"
+
+// NormRatio is dimensionless by name and therefore exempt.
+func NormRatio(freqRatio float64) {}
+
+func setTempInternal(temp float64) {} // unexported; ignored

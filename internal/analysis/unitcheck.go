@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// UnitCheck returns the physical-unit annotation analyzer.
+//
+// The Eq. 1 DVFS arithmetic divides frequencies by IPS ratios, the power
+// model multiplies V²f, and the thermal model integrates W into °C — all
+// as bare float64s. A silently mismatched unit (MHz where Hz is expected)
+// produces numbers that look plausible and are wrong by 10⁶. The rule:
+// every exported float64 struct field and every exported-function float64
+// parameter whose name matches a physical-quantity pattern (Freq, Temp,
+// Power, Voltage, Energy, IPS, Latency) must carry a unit, either in the
+// name itself (FreqHz, TotalEnergyJ, DeviceLatencyUs) or as a comment on
+// the field (`Freq float64 // Hz`) or in the function's doc comment, as
+// internal/platform models.
+func UnitCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "unitcheck",
+		Doc: "require unit annotations (// Hz, // W, // °C, ... or a unit-bearing " +
+			"name like FreqHz) on exported float64 struct fields and exported-function " +
+			"parameters named like physical quantities (Freq/Temp/Power/Voltage/Energy/IPS/Latency)",
+	}
+	a.Run = runUnitCheck
+	return a
+}
+
+// quantityPat matches identifiers that name a physical quantity.
+var quantityPat = regexp.MustCompile(`(?i)(freq|temp|power|voltage|energy|ips|latency)`)
+
+// nameUnitPat matches identifiers whose spelling already carries a unit
+// suffix at a camel-case boundary, e.g. FreqHz, freqMHz, TotalEnergyJ,
+// powerW, tempC, DeviceLatencyUs. The boundary (a lowercase letter before
+// the suffix) keeps acronym tails like MeanIPS from passing as "seconds".
+var nameUnitPat = regexp.MustCompile(`[a-z](Hz|KHz|MHz|GHz|MW|KW|W|MV|V|MJ|KJ|J|C|K|Ns|Us|Ms|Sec|S|Joules|Watts|Volts|Celsius|Kelvin|Ratios?|Fracs?|Norm)$`)
+
+// commentUnitPat matches unit vocabulary inside a comment: SI symbols,
+// spelled-out units, rates, and explicit dimensionless declarations.
+var commentUnitPat = regexp.MustCompile(`(?i)(hz\b|\b[mk]?w\b|watts?\b|\b[m]?v\b|volts?\b|\b[mk]?j\b|joules?\b|°c|celsius|kelvin|\bc\b|\bk\b|deg(rees)?\.? ?c\b|\bips\b|instr|per[ -]sec|/ ?s(ec)?\b|seconds?\b|\b[mnµu]?s\b|fraction|ratio|normali[sz]ed|dimensionless|unitless|\[0, ?1\])`)
+
+// hasNameUnit reports whether the identifier itself ends in a unit.
+func hasNameUnit(name string) bool {
+	return nameUnitPat.MatchString(name)
+}
+
+// hasCommentUnit reports whether any of the comment groups mentions a unit.
+func hasCommentUnit(groups ...*ast.CommentGroup) bool {
+	for _, g := range groups {
+		if g != nil && commentUnitPat.MatchString(g.Text()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isFloat64Expr matches the syntactic types float64 and []float64.
+func isFloat64Expr(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name == "float64"
+	case *ast.ArrayType:
+		return isFloat64Expr(t.Elt)
+	}
+	return false
+}
+
+func runUnitCheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					checkStructFields(pass, st)
+				}
+			case *ast.FuncDecl:
+				checkFuncParams(pass, d)
+			}
+		}
+	}
+}
+
+// checkStructFields requires a unit on every exported quantity-named
+// float64 field. The unit may live in the field name, the trailing line
+// comment, or the doc comment above the field.
+func checkStructFields(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if !isFloat64Expr(field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if !ast.IsExported(name.Name) || !quantityPat.MatchString(name.Name) {
+				continue
+			}
+			if hasNameUnit(name.Name) || hasCommentUnit(field.Comment, field.Doc) {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"exported field %s is a physical quantity but declares no unit; add one to the name (e.g. %sHz) or a comment (e.g. `// Hz`, `// W`, `// °C`)",
+				name.Name, name.Name)
+		}
+	}
+}
+
+// checkFuncParams requires a unit for quantity-named float64 parameters of
+// exported functions and methods: in the parameter name or anywhere in the
+// function's doc comment (which conventionally spells out the contract).
+func checkFuncParams(pass *Pass, fd *ast.FuncDecl) {
+	if !ast.IsExported(fd.Name.Name) || fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isFloat64Expr(field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if !quantityPat.MatchString(name.Name) {
+				continue
+			}
+			if hasNameUnit(name.Name) || hasCommentUnit(fd.Doc) {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"parameter %s of exported %s is a physical quantity but neither its name nor the doc comment states a unit",
+				name.Name, fd.Name.Name)
+		}
+	}
+}

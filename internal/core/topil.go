@@ -89,7 +89,9 @@ type TOPIL struct {
 
 // New creates a TOP-IL manager using the given inference backend (an
 // npu.NPU for the paper's configuration, or an npu.CPUBackend for the
-// no-accelerator ablation).
+// no-accelerator ablation). It panics on a nil backend or a non-positive
+// migration period: both are configuration programming errors, not
+// runtime conditions.
 func New(backend npu.Backend, cfg Config) *TOPIL {
 	if backend == nil {
 		panic("core: nil inference backend")

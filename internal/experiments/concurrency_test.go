@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestPipelineConcurrentAccess hammers the Pipeline's lazily-built shared
+// state from many goroutines at once. The artifacts are seeded by one
+// sequential pipeline first, so the concurrent one exercises the mutex
+// around cache loading rather than minutes of oracle search; the point of
+// the test is the race detector, which `make race` runs over this package.
+func TestPipelineConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	seed := NewPipeline(miniScale())
+	seed.ArtifactsDir = dir
+	if _, err := seed.Dataset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Models(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.QTables(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewPipeline(miniScale())
+	p.ArtifactsDir = dir
+	spec, ok := workload.ByName("adi")
+	if !ok {
+		t.Fatal("adi missing from catalog")
+	}
+
+	const workers = 8
+	errs := make(chan error, workers*4)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := p.Dataset(); err != nil {
+				errs <- err
+			}
+			if _, err := p.Manager("TOP-IL", 0); err != nil {
+				errs <- err
+			}
+			if _, err := p.Manager("TOP-RL", 0); err != nil {
+				errs <- err
+			}
+			if peak := p.PeakIPS(spec); peak <= 0 {
+				errs <- errNonPositive("PeakIPS")
+			}
+			if little := p.LittleMaxIPS(spec); little <= 0 {
+				errs <- errNonPositive("LittleMaxIPS")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	d1, err := p.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := seed.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Len() != d2.Len() {
+		t.Fatalf("concurrent pipeline loaded %d examples, seeder built %d", d1.Len(), d2.Len())
+	}
+}
+
+type errNonPositive string
+
+func (e errNonPositive) Error() string { return string(e) + " returned a non-positive value" }

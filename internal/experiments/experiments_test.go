@@ -15,6 +15,13 @@ var (
 
 func pipeline(t *testing.T) *Pipeline {
 	t.Helper()
+	if testing.Short() {
+		// The oracle search plus model training behind this helper takes
+		// minutes under the race detector's ~20x slowdown; `make race`
+		// runs this package with -short and relies on the cheaper
+		// artifacts and concurrency tests for coverage.
+		t.Skip("skipping full-pipeline experiment in -short mode")
+	}
 	pipeOnce.Do(func() {
 		pipe = NewPipeline(QuickScale())
 	})

@@ -20,7 +20,7 @@ type Fig7Trace struct {
 	OptimalBig  bool
 	OptimalFrac float64 // fraction of epochs on the optimal cluster
 	Migrations  int
-	AvgTemp     float64
+	AvgTemp     float64 // °C
 	QoSMet      bool
 }
 

@@ -102,10 +102,11 @@ func UtilOffset(numCores, numClusters int) int {
 }
 
 // EstimateMinFreq implements Eq. (1): the minimum frequency from freqs
-// (ascending) at which application performance, linearly scaled from the
-// current frequency fCur and current IPS q, reaches the target Q. ok is
-// false if even the highest frequency falls short (the estimate then
-// returns that highest frequency).
+// (ascending, Hz) at which application performance, linearly scaled from
+// the current frequency fCur (Hz) and current IPS q (instr/s), reaches the
+// target Q. ok is false if even the highest frequency falls short (the
+// estimate then returns that highest frequency). It panics on an empty
+// frequency list: every cluster has at least one OPP by construction.
 func EstimateMinFreq(freqs []float64, fCur, q, target float64) (float64, bool) {
 	if len(freqs) == 0 {
 		panic("features: empty frequency list")
@@ -146,6 +147,7 @@ func RequiredFreqWithout(s Snapshot, cluster int, aoiID sim.AppID) float64 {
 }
 
 // Vector builds the feature vector for the AoI at index aoi in s.Apps.
+// It panics on an out-of-range index.
 func Vector(s Snapshot, aoi int) []float64 {
 	if aoi < 0 || aoi >= len(s.Apps) {
 		panic(fmt.Sprintf("features: AoI index %d out of range [0,%d)", aoi, len(s.Apps)))
@@ -159,10 +161,13 @@ func Vector(s Snapshot, aoi int) []float64 {
 		BackgroundOccupancy(s, a.ID))
 }
 
-// Assemble builds the raw feature vector from its components. It is the
-// single place defining feature order and scaling, shared by the run-time
-// path (Vector) and the design-time oracle, so both produce identical
-// distributions.
+// Assemble builds the raw feature vector from its components: ips and the
+// QoS target in instr/s, l2dps in accesses per second, freqRatios
+// dimensionless (required/current per cluster). It is the single place
+// defining feature order and scaling, shared by the run-time path (Vector)
+// and the design-time oracle, so both produce identical distributions.
+// It panics on an out-of-range AoI core or a utilization vector whose
+// length differs from numCores.
 func Assemble(ips, l2dps float64, aoiCore, numCores int, qosTarget float64,
 	freqRatios, utils []float64) []float64 {
 	if aoiCore < 0 || aoiCore >= numCores {

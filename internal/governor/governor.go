@@ -107,7 +107,8 @@ type GTS struct {
 	nextRebalance   float64
 }
 
-// NewGTS pairs the GTS scheduler with a frequency policy.
+// NewGTS pairs the GTS scheduler with a frequency policy. It panics on a
+// nil policy: a governor without a frequency law is a programming error.
 func NewGTS(policy FreqPolicy) *GTS {
 	if policy == nil {
 		panic("governor: nil frequency policy")

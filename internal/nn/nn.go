@@ -34,6 +34,8 @@ type MLP struct {
 
 // NewMLP creates a network with the given layer sizes (input, hidden...,
 // output), initialized with He-scaled Gaussian weights from the seeded RNG.
+// It panics on fewer than two layers or a non-positive width: topology is
+// fixed at design time, so a bad one is a programming error.
 func NewMLP(sizes []int, seed int64) *MLP {
 	if len(sizes) < 2 {
 		panic("nn: need at least input and output layer")
@@ -76,7 +78,8 @@ func (m *MLP) NumParams() int {
 	return n
 }
 
-// Predict runs a forward pass for a single input.
+// Predict runs a forward pass for a single input. It panics if the input
+// dimension does not match the network's input layer.
 func (m *MLP) Predict(x []float64) []float64 {
 	if len(x) != m.sizes[0] {
 		panic(fmt.Sprintf("nn: input dim %d, want %d", len(x), m.sizes[0]))
@@ -205,8 +208,8 @@ func (m *MLP) MapParams(f func(float64) float64) {
 	}
 }
 
-// CopyFrom overwrites this network's parameters with src's (same topology
-// required).
+// CopyFrom overwrites this network's parameters with src's; it panics on
+// a topology mismatch.
 func (m *MLP) CopyFrom(src *MLP) {
 	if len(m.sizes) != len(src.sizes) {
 		panic("nn: CopyFrom topology mismatch")

@@ -58,7 +58,7 @@ type NPU struct {
 // New creates an NPU executing the given model, with latency parameters
 // calibrated to the paper's measurements: the migration policy (one batched
 // inference plus bookkeeping) costs ≈4.3 ms per invocation regardless of
-// the number of applications.
+// the number of applications. It panics on a nil model.
 func New(model *nn.MLP) *NPU {
 	if model == nil {
 		panic("npu: nil model")
@@ -113,7 +113,7 @@ type CPUBackend struct {
 
 // NewCPU creates a CPU inference backend. The rate models a plain FP32
 // scalar implementation on a LITTLE core at a mid VF level (no NEON, cold
-// caches between the 500 ms invocations).
+// caches between the 500 ms invocations). It panics on a nil model.
 func NewCPU(model *nn.MLP) *CPUBackend {
 	if model == nil {
 		panic("npu: nil model")

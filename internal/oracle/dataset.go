@@ -26,7 +26,7 @@ type Example struct {
 	Features []float64 `json:"x"`
 	Labels   []float64 `json:"y"`
 	Temps    []float64 `json:"temps"` // °C per core; NotApplicable where unusable
-	OptTemp  float64   `json:"opt"`
+	OptTemp  float64   `json:"opt"`   // °C of the oracle-optimal mapping
 }
 
 // Dataset is a collection of oracle demonstrations.

@@ -128,7 +128,7 @@ func DefaultConfig() Config {
 type TracePoint struct {
 	AoIIPS   float64 // mean IPS of the AoI over the measurement window
 	AoIL2DPS float64 // windowed L2D accesses per second at window end
-	PeakTemp float64 // peak sensor temperature during the window
+	PeakTemp float64 // °C, peak sensor temperature during the window
 }
 
 // traceKey indexes trace points: AoI core and the per-cluster positions
@@ -366,7 +366,9 @@ func CanonicalScenarios(pool []string) ([]Scenario, error) {
 }
 
 // pickCoreOfKind returns the first core in perm belonging to a cluster of
-// kind k.
+// kind k. It panics if the platform has no cluster of that kind: callers
+// iterate the platform's own cluster kinds, so a miss is a programming
+// error.
 func pickCoreOfKind(plat *platform.Platform, perm []int, k platform.ClusterKind) platform.CoreID {
 	for _, c := range perm {
 		if plat.KindOf(platform.CoreID(c)) == k {

@@ -35,9 +35,9 @@ type tracePointJSON struct {
 	Core     int     `json:"core"`
 	LI       int     `json:"li"`
 	BI       int     `json:"bi"`
-	AoIIPS   float64 `json:"ips"`
-	AoIL2DPS float64 `json:"l2dps"`
-	PeakTemp float64 `json:"peak"`
+	AoIIPS   float64 `json:"ips"`   // instr/s
+	AoIL2DPS float64 `json:"l2dps"` // accesses per second
+	PeakTemp float64 `json:"peak"`  // °C
 }
 
 // SaveTraces writes a trace set as gzipped JSON.

@@ -218,7 +218,7 @@ type overheadModel struct {
 }
 
 // New creates a TOP-RL manager sharing the given Q-table (pass a fresh
-// table or a pretrained one).
+// table or a pretrained one). It panics on a nil table.
 func New(table *QTable, params Params, seed int64) *TOPRL {
 	if table == nil {
 		panic("rl: nil Q-table")
@@ -239,7 +239,7 @@ func (r *TOPRL) Name() string { return "TOP-RL" }
 
 // Attach implements sim.Manager. TOP-RL's quantized state space encodes
 // exactly two DVFS domains (matching the paper's Q-table size), so it
-// rejects other platforms.
+// panics on platforms with any other cluster count.
 func (r *TOPRL) Attach(env *sim.Env) {
 	if env.Platform().NumClusters() != 2 {
 		panic("rl: TOP-RL's state quantization supports exactly 2 clusters")

@@ -116,8 +116,8 @@ func (r SimRequest) validate() error {
 // AppResult is the per-application outcome in a SimResult.
 type AppResult struct {
 	Name         string  `json:"name"`
-	QoSGips      float64 `json:"qosGips"`
-	AchievedGips float64 `json:"achievedGips"`
+	QoSGips      float64 `json:"qosGips"`      // GIPS, 1e9 instr/s
+	AchievedGips float64 `json:"achievedGips"` // GIPS, 1e9 instr/s
 	Finished     bool    `json:"finished"`
 	Violated     bool    `json:"violated"`
 	Core         int     `json:"core"`
@@ -127,8 +127,8 @@ type AppResult struct {
 type SimResult struct {
 	Technique       string      `json:"technique"`
 	Duration        float64     `json:"duration"`
-	AvgTemp         float64     `json:"avgTemp"`
-	PeakTemp        float64     `json:"peakTemp"`
+	AvgTemp         float64     `json:"avgTemp"`  // °C
+	PeakTemp        float64     `json:"peakTemp"` // °C
 	Violations      int         `json:"violations"`
 	Migrations      int         `json:"migrations"`
 	ThrottleSeconds float64     `json:"throttleSeconds"`

@@ -183,7 +183,9 @@ type Engine struct {
 
 // New creates an engine. The thermal network in cfg must have at least one
 // node per core (core i -> node i); extra nodes (package) receive the
-// uncore power on the last node.
+// uncore power on the last node. It panics on a malformed Config (missing
+// platform or thermal network, non-positive periods, undersized network):
+// configurations are built in code, so these are programming errors.
 func New(cfg Config) *Engine {
 	if cfg.Platform == nil || cfg.Thermal == nil {
 		panic("sim: Config requires Platform and Thermal")
@@ -220,7 +222,9 @@ func New(cfg Config) *Engine {
 	return e
 }
 
-// AddJob schedules an application instance for arrival.
+// AddJob schedules an application instance for arrival. It panics on a
+// job whose spec fails validation; specs come from the workload tables or
+// generator, so an invalid one indicates corrupted construction code.
 func (e *Engine) AddJob(job workload.Job) {
 	if err := job.Spec.Validate(); err != nil {
 		panic("sim: invalid job: " + err.Error())
@@ -318,7 +322,9 @@ func (e *Engine) step(m Manager) {
 	e.now += dt
 }
 
-// admit places a newly arrived job on a core and registers it.
+// admit places a newly arrived job on a core and registers it. It panics
+// if a Placer returns an out-of-range core: mappings outside the platform
+// would silently corrupt the per-core bookkeeping.
 func (e *Engine) admit(job workload.Job, m Manager) {
 	var core platform.CoreID
 	if p, ok := m.(Placer); ok {

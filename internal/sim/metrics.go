@@ -17,8 +17,8 @@ type AppResult struct {
 type Result struct {
 	Duration float64
 
-	AvgTemp  float64 // time average of the sensor temperature
-	PeakTemp float64
+	AvgTemp  float64 // °C, time average of the sensor temperature
+	PeakTemp float64 // °C
 
 	Apps       []AppResult
 	Violations int // number of applications violating their QoS target

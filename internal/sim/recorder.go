@@ -22,9 +22,9 @@ type AppSample struct {
 	ID    AppID
 	Name  string
 	Core  int
-	IPS   float64
-	QoS   float64
-	L2DPS float64
+	IPS   float64 // instr/s over the last period
+	QoS   float64 // instr/s target
+	L2DPS float64 // L2D accesses per second
 }
 
 // Recorder captures periodic time series from a running simulation —
@@ -41,7 +41,9 @@ type Recorder struct {
 	Samples []Sample
 }
 
-// NewRecorder creates a recorder sampling every `period` seconds.
+// NewRecorder creates a recorder sampling every `period` seconds. It
+// panics on a nil env or non-positive period: both are programming errors
+// in experiment setup.
 func NewRecorder(env *Env, period float64) *Recorder {
 	if env == nil {
 		panic("sim: NewRecorder with nil env")

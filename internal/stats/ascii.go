@@ -36,7 +36,8 @@ func Sparkline(xs []float64) string {
 }
 
 // BarChart renders labeled horizontal bars scaled to width characters,
-// annotated with the formatted value.
+// annotated with the formatted value. It panics when labels and values
+// differ in length.
 func BarChart(labels []string, values []float64, width int, format string) string {
 	if len(labels) != len(values) {
 		panic("stats: BarChart label/value length mismatch")

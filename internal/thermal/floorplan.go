@@ -91,7 +91,9 @@ func DefaultFloorplanConfig(fan bool, tAmb float64) FloorplanConfig {
 // FromFloorplan builds an RC network with one node per block plus a final
 // package node (index len(blocks), exposed by the returned pkg index).
 // Blocks must not overlap; only adjacency (shared edges) produces lateral
-// coupling.
+// coupling. It panics on an empty floorplan, a block with non-positive
+// size, or overlapping blocks: floorplans are static data, so a malformed
+// one is a programming error.
 func FromFloorplan(blocks []Block, cfg FloorplanConfig) (n *Network, pkg int) {
 	if len(blocks) == 0 {
 		panic("thermal: empty floorplan")

@@ -58,6 +58,7 @@ func NewNetwork(nodes []Node, tAmb float64) *Network {
 }
 
 // AddCoupling adds a thermal conductance of g W/K between nodes i and j.
+// It panics on self-coupling or a negative conductance.
 func (n *Network) AddCoupling(i, j int, g float64) {
 	if i == j {
 		panic("thermal: self coupling")
@@ -70,7 +71,8 @@ func (n *Network) AddCoupling(i, j int, g float64) {
 	n.maxStep = 0
 }
 
-// SetAmbientCoupling sets the conductance from node i to ambient.
+// SetAmbientCoupling sets the conductance from node i to ambient (W/K).
+// It panics on a negative conductance.
 func (n *Network) SetAmbientCoupling(i int, g float64) {
 	if g < 0 {
 		panic("thermal: negative conductance")
@@ -104,7 +106,8 @@ func (n *Network) stableStep() float64 {
 
 // Step advances the network by dt seconds with the given per-node power
 // injection (W). It subdivides dt internally to stay within the explicit
-// integration stability limit.
+// integration stability limit. It panics on a power vector of the wrong
+// length or a non-positive dt.
 func (n *Network) Step(power []float64, dt float64) {
 	if len(power) != len(n.Nodes) {
 		panic(fmt.Sprintf("thermal: power vector length %d, want %d", len(power), len(n.Nodes)))
@@ -156,8 +159,8 @@ func (n *Network) Reset() {
 	}
 }
 
-// SetTemps overwrites the node temperatures (e.g. to start an experiment
-// from a warmed-up state).
+// SetTemps overwrites the node temperatures in °C (e.g. to start an
+// experiment from a warmed-up state). It panics on a length mismatch.
 func (n *Network) SetTemps(t []float64) {
 	if len(t) != len(n.t) {
 		panic("thermal: temperature vector length mismatch")
@@ -165,10 +168,12 @@ func (n *Network) SetTemps(t []float64) {
 	copy(n.t, t)
 }
 
-// SteadyState solves for the equilibrium temperatures under constant power,
-// without modifying the network state. It performs Gaussian elimination on
-// the conductance matrix; the system is strictly diagonally dominant as
-// long as every node has a path to ambient.
+// SteadyState solves for the equilibrium temperatures (°C) under constant
+// per-node power (W), without modifying the network state. It performs
+// Gaussian elimination on the conductance matrix; the system is strictly
+// diagonally dominant as long as every node has a path to ambient. It
+// panics on a power vector of the wrong length or a singular network
+// (a node with no path to ambient).
 func (n *Network) SteadyState(power []float64) []float64 {
 	if len(power) != len(n.Nodes) {
 		panic("thermal: power vector length mismatch")

@@ -259,7 +259,8 @@ type Generator struct {
 // peakIPS must return the application's maximum achievable IPS (highest VF
 // level on the big cluster, alone on a core); QoS targets are drawn
 // uniformly from [qosLo, qosHi] of that peak. instrScale scales each
-// application's instruction count (1.0 = full length).
+// application's instruction count (1.0 = full length). It panics on a QoS
+// fraction range outside (0,1) or a non-positive instruction scale.
 func NewGenerator(seed int64, pool []string, peakIPS func(AppSpec) float64,
 	qosLo, qosHi, instrScale float64) *Generator {
 	if qosLo <= 0 || qosHi < qosLo || qosHi >= 1 {
@@ -279,7 +280,8 @@ func NewGenerator(seed int64, pool []string, peakIPS func(AppSpec) float64,
 }
 
 // Generate draws n jobs with exponential inter-arrival times at the given
-// arrival rate (jobs per second), sorted by arrival time.
+// arrival rate (jobs per second), sorted by arrival time. It panics on a
+// non-positive rate or a pool naming an unknown benchmark.
 func (g *Generator) Generate(n int, rate float64) []Job {
 	if rate <= 0 {
 		panic("workload: non-positive arrival rate")

@@ -1,6 +1,6 @@
 #!/bin/sh
-# Default verify flow: build + vet + tests + race pass over the concurrent
-# packages. `scripts/check.sh smoke` additionally boots topil-serve and
+# Default verify flow: build + vet + lint + tests + race pass over the
+# concurrent packages. `scripts/check.sh smoke` additionally boots topil-serve and
 # drives one infer + sim round trip over HTTP, then drains it with SIGINT.
 set -eu
 
@@ -50,8 +50,13 @@ echo "== go build ./..."
 go build ./...
 echo "== go vet ./..."
 go vet ./...
+echo "== topil-lint ./..."
+go run ./cmd/topil-lint ./...
 echo "== go test ./..."
 go test ./...
-echo "== go test -race (serve, npu, nn)"
-go test -race ./internal/serve/... ./internal/npu/... ./internal/nn/...
+echo "== go test -race (serve, npu, nn, workload, sim)"
+go test -race ./internal/serve/... ./internal/npu/... ./internal/nn/... \
+    ./internal/workload/... ./internal/sim/...
+echo "== go test -race -short (experiments)"
+go test -race -short ./internal/experiments/...
 echo "all checks passed"
