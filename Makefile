@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race serve-smoke
+.PHONY: check build vet lint test race serve-smoke bench
 
 check: build vet lint test race
 
@@ -35,3 +35,8 @@ race:
 # Quick end-to-end: build the service and exercise one infer round trip.
 serve-smoke:
 	./scripts/check.sh smoke
+
+# Measure the experiment executor's parallel speedup (sequential vs -j N
+# wall-clock over the multi-cell figures) into BENCH_experiments.json.
+bench:
+	$(GO) run ./scripts/benchexp -out BENCH_experiments.json

@@ -2,8 +2,10 @@
 // evaluation and prints the same rows/series the paper reports. Use -quick
 // for a fast smoke run, -fig to select individual experiments, -out to
 // write the text report, -csvdir to additionally export each experiment's
-// data as CSV, and -artifacts to cache the expensive design-time artifacts
-// across invocations.
+// data as CSV, -artifacts to cache the expensive design-time artifacts
+// across invocations, and -j to run each experiment's (technique × seed ×
+// scenario) cells on a parallel worker pool — reports and CSV files are
+// byte-identical at any -j value.
 //
 // Experiments: fig1 (motivational), fig3 (NAS), fig5 (migration overhead),
 // fig7 (IL vs RL illustrative), fig8a/fig8b (main, fan / no fan, fig8b also
@@ -44,7 +46,7 @@ func allExperiments() []renderer {
 			if err != nil {
 				return "", nil, err
 			}
-			return r.Render(), nil, nil
+			return r.Render(), []csvFile{{"fig1.csv", r.WriteCSV}}, nil
 		}},
 		{"fig3", func(p *experiments.Pipeline) (string, []csvFile, error) {
 			r, err := p.Fig3GridSearch()
@@ -58,7 +60,7 @@ func allExperiments() []renderer {
 			if err != nil {
 				return "", nil, err
 			}
-			return r.Render(), nil, nil
+			return r.Render(), []csvFile{{"fig5.csv", r.WriteCSV}}, nil
 		}},
 		{"fig7", func(p *experiments.Pipeline) (string, []csvFile, error) {
 			r, err := p.Fig7Illustrative()
@@ -142,15 +144,20 @@ func main() {
 		csvDir    = flag.String("csvdir", "", "export per-experiment CSV data into this directory")
 		verbose   = flag.Bool("v", false, "print pipeline progress")
 		artifacts = flag.String("artifacts", "", "cache design-time artifacts (dataset/models/Q-tables) in this directory")
+		jobs      = flag.Int("j", 0, "parallel run cells per experiment (0 = GOMAXPROCS); output is identical at any value")
 	)
 	flag.Parse()
 
+	if *jobs < 0 {
+		log.Fatalf("-j %d: worker count must be >= 0", *jobs)
+	}
 	scale := experiments.FullScale()
 	if *quick {
 		scale = experiments.QuickScale()
 	}
 	p := experiments.NewPipeline(scale)
 	p.ArtifactsDir = *artifacts
+	p.Workers = *jobs
 	if *verbose {
 		p.Progress = func(msg string) { log.Print(msg) }
 	}

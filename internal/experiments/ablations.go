@@ -148,16 +148,17 @@ func (p *Pipeline) compareDatasets(name string, def, variant *oracle.Dataset,
 			"infeasible":  ev.InfeasibleFrac,
 		}, nil
 	}
-	dm, err := eval(def)
-	if err != nil {
-		return nil, err
-	}
-	vm, err := eval(variant)
+	// The default and variant trainings are independent; run them as a
+	// two-cell matrix so they overlap on a parallel pool.
+	cells, err := RunMatrix(p, "ablation", []RunSpec[map[string]float64]{
+		{Tag: name + "/default", Run: func() (map[string]float64, error) { return eval(def) }},
+		{Tag: name + "/variant", Run: func() (map[string]float64, error) { return eval(variant) }},
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &AblationResult{
-		Name: name, Default: dm, Variant: vm,
+		Name: name, Default: cells[0].Value, Variant: cells[1].Value,
 		Comment:  comment,
 		MetricFn: "mapping quality on the oracle dataset",
 	}, nil
@@ -186,16 +187,15 @@ func (p *Pipeline) AblationDVFSStep() (*AblationResult, error) {
 			"migrations": float64(r.Migrations),
 		}, nil
 	}
-	dm, err := run(false)
-	if err != nil {
-		return nil, err
-	}
-	vm, err := run(true)
+	cells, err := RunMatrix(p, "ablation", []RunSpec[map[string]float64]{
+		{Tag: "dvfs/one-step", Run: func() (map[string]float64, error) { return run(false) }},
+		{Tag: "dvfs/jump", Run: func() (map[string]float64, error) { return run(true) }},
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &AblationResult{
-		Name: "DVFS one-step vs jump-to-target", Default: dm, Variant: vm,
+		Name: "DVFS one-step vs jump-to-target", Default: cells[0].Value, Variant: cells[1].Value,
 		Comment:  "variant jumps directly to the Eq.-(1) estimate each 50 ms",
 		MetricFn: "mixed-workload outcome",
 	}, nil

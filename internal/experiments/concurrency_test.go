@@ -79,3 +79,73 @@ func TestPipelineConcurrentAccess(t *testing.T) {
 type errNonPositive string
 
 func (e errNonPositive) Error() string { return string(e) + " returned a non-positive value" }
+
+// TestRunMatrixConcurrentCells hammers the executor with cells that exercise
+// the full per-cell path — Manager construction (shared models/Q-tables
+// behind the pipeline mutex), engine runs, progress reporting — at several
+// worker counts, and asserts the reduced values never change. Like
+// TestPipelineConcurrentAccess this mainly exists for the race detector.
+func TestRunMatrixConcurrentCells(t *testing.T) {
+	dir := t.TempDir()
+	seed := NewPipeline(miniScale())
+	seed.ArtifactsDir = dir
+	if err := seed.Warm(); err != nil {
+		t.Fatal(err)
+	}
+
+	spec, ok := workload.ByName("adi")
+	if !ok {
+		t.Fatal("adi missing from catalog")
+	}
+	spec.TotalInstr = 1e18
+
+	run := func(workers int) []float64 {
+		p := NewPipeline(miniScale())
+		p.ArtifactsDir = dir
+		p.Workers = workers
+		p.Progress = func(string) {} // exercise the serialized callback
+		if err := p.Warm(); err != nil {
+			t.Fatal(err)
+		}
+		var specs []RunSpec[float64]
+		for i := 0; i < 12; i++ {
+			tech := "TOP-IL"
+			if i%2 == 1 {
+				tech = "TOP-RL"
+			}
+			specs = append(specs, RunSpec[float64]{
+				Tag: tech,
+				Run: func() (float64, error) {
+					mgr, err := p.Manager(tech, 0)
+					if err != nil {
+						return 0, err
+					}
+					e := p.newEngine(true, int64(i))
+					e.AddJob(workload.Job{Spec: spec, QoS: 1e8})
+					r := e.Run(mgr, 2)
+					return r.AvgTemp, nil
+				},
+			})
+		}
+		cells, err := RunMatrix(p, "hammer", specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(cells))
+		for i, c := range cells {
+			out[i] = c.Value
+		}
+		return out
+	}
+
+	base := run(1)
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: cell %d = %v, sequential run produced %v",
+					workers, i, got[i], base[i])
+			}
+		}
+	}
+}

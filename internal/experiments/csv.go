@@ -12,6 +12,42 @@ import (
 
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
 
+// WriteCSV emits one row per (app, scenario, mapping).
+func (r *Fig1Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "scenario", "mapping",
+		"f_little_hz", "f_big_hz", "avg_temp"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{row.App, strconv.Itoa(row.Scenario),
+			row.Mapping, fmtF(row.FLittle), fmtF(row.FBig),
+			fmtF(row.AvgTemp)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits one row per application plus a summary row.
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "overhead"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{row.App, fmtF(row.Overhead)}); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write([]string{"__average__", fmtF(r.Average)}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteCSV emits one row per (technique, arrival rate).
 func (r *Fig8Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)

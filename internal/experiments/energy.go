@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -64,21 +65,42 @@ func (r *EnergyResult) Row(technique string) (EnergyRow, bool) {
 // reports per-technique energy (a simulator-side metric the policies cannot
 // observe, matching the board's missing power sensors).
 func (p *Pipeline) EnergyAnalysis() (*EnergyResult, error) {
+	if err := p.Warm(); err != nil {
+		return nil, err
+	}
 	rate := p.Scale.ArrivalRates[len(p.Scale.ArrivalRates)/2]
+	var specs []RunSpec[*sim.Result]
+	for _, tech := range Techniques() {
+		for si := range p.Scale.Seeds {
+			specs = append(specs, RunSpec[*sim.Result]{
+				Tag: fmt.Sprintf("%s/seed%d", tech, p.Scale.Seeds[si]),
+				Run: func() (*sim.Result, error) {
+					mgr, err := p.Manager(tech, si)
+					if err != nil {
+						return nil, err
+					}
+					seed := p.Scale.Seeds[si]
+					e := p.newEngine(true, seed)
+					gen := workload.NewGenerator(100+seed, workload.MixedPool(), p.PeakIPS,
+						0.2, 0.7, p.Scale.InstrScale)
+					e.AddJobs(gen.Generate(p.Scale.MixedJobs, rate))
+					return e.RunUntil(mgr, p.Scale.RunCap, e.Done), nil
+				},
+			})
+		}
+	}
+	cells, err := RunMatrix(p, "energy", specs)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &EnergyResult{Rate: rate}
+	idx := 0
 	for _, tech := range Techniques() {
 		var total, little, big, temps, viols, makespans []float64
-		for si := range p.Scale.Seeds {
-			mgr, err := p.Manager(tech, si)
-			if err != nil {
-				return nil, err
-			}
-			seed := p.Scale.Seeds[si]
-			e := p.newEngine(true, seed)
-			gen := workload.NewGenerator(100+seed, workload.MixedPool(), p.PeakIPS,
-				0.2, 0.7, p.Scale.InstrScale)
-			e.AddJobs(gen.Generate(p.Scale.MixedJobs, rate))
-			r := e.RunUntil(mgr, p.Scale.RunCap, e.Done)
+		for range p.Scale.Seeds {
+			r := cells[idx].Value
+			idx++
 			total = append(total, r.TotalEnergyJ())
 			little = append(little, r.EnergyJ[0])
 			big = append(big, r.EnergyJ[1])

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RunSpec is one cell of an experiment's run matrix — typically one
+// (technique, seed, scenario) combination. Run must be self-contained:
+// it builds its own sim.Engine and manager from explicitly seeded state so
+// the cell computes the same value no matter which worker executes it or
+// when. Shared design-time artifacts (trained models, pretrained Q-tables)
+// are read-only by contract; warm them via Pipeline.Warm before fan-out.
+type RunSpec[T any] struct {
+	// Tag identifies the cell in progress output, e.g. "TOP-IL/seed1/r0.04".
+	Tag string
+	// Run executes the cell and returns its reduced value.
+	Run func() (T, error)
+}
+
+// RunResult pairs a cell's value with its tag and measured cost. Results
+// from RunMatrix are ordered by submission index, so reducing over them in
+// slice order reproduces the sequential reduction exactly.
+type RunResult[T any] struct {
+	Tag         string
+	Value       T
+	WallSeconds float64 // wall-clock cost of this cell
+}
+
+// RunMatrix executes the given cells on a bounded worker pool and returns
+// their results in submission order. The pool size is Pipeline.Workers
+// (default GOMAXPROCS); a size of one degenerates to today's sequential
+// loop. Because every cell is isolated and the reduction is ordered, the
+// output — and therefore every CSV artifact and report rendered from it —
+// is byte-identical regardless of worker count.
+//
+// On failure RunMatrix returns the error of the lowest-indexed failing
+// cell and stops dispatching further cells; in-flight cells finish first.
+//
+// This is a free function rather than a Pipeline method because Go methods
+// cannot introduce type parameters.
+func RunMatrix[T any](p *Pipeline, name string, specs []RunSpec[T]) ([]RunResult[T], error) {
+	total := len(specs)
+	if total == 0 {
+		return nil, nil
+	}
+	workers := p.workers()
+	if workers > total {
+		workers = total
+	}
+
+	var (
+		mu          sync.Mutex
+		next        int
+		done        int
+		firstErr    error
+		firstErrIdx = total
+	)
+	results := make([]RunResult[T], total)
+	start := time.Now()
+
+	// claim hands out the next undispatched cell index, or -1 once the
+	// matrix is drained or a cell has failed.
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= total {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				cellStart := time.Now()
+				v, err := specs[i].Run()
+				wall := time.Since(cellStart).Seconds()
+
+				mu.Lock()
+				if err != nil {
+					// Keep the lowest-indexed error so failures are
+					// reported identically at any worker count.
+					if i < firstErrIdx {
+						firstErrIdx = i
+						firstErr = fmt.Errorf("%s %s: %w", name, specs[i].Tag, err)
+					}
+				} else {
+					results[i] = RunResult[T]{Tag: specs[i].Tag, Value: v, WallSeconds: wall}
+				}
+				done++
+				d := done
+				mu.Unlock()
+				p.progress("%s: [%d/%d] %s (%.1fs)", name, d, total, specs[i].Tag, wall)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	elapsed := time.Since(start).Seconds()
+	var cellSeconds float64
+	for _, r := range results {
+		cellSeconds += r.WallSeconds
+	}
+	speedup := 1.0
+	if elapsed > 0 {
+		speedup = cellSeconds / elapsed
+	}
+	p.progress("%s: %d cells in %.1fs wall (%.1fs of cell time, %.1fx speedup, %d workers)",
+		name, total, elapsed, cellSeconds, speedup, workers)
+	return results, nil
+}
+
+// workers resolves the configured pool size, defaulting to GOMAXPROCS.
+func (p *Pipeline) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Warm builds the shared design-time artifacts — oracle dataset, trained
+// IL models, and pretrained RL Q-tables — before any parallel fan-out, so
+// worker cells only ever read them. Without warming, the first cells of a
+// parallel matrix would serialize on the pipeline mutex while one of them
+// trains, wasting the pool.
+func (p *Pipeline) Warm() error {
+	if _, err := p.Models(); err != nil {
+		return err
+	}
+	_, err := p.QTables()
+	return err
+}

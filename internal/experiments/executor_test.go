@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// matrixSpecs builds n cells whose values encode their submission index,
+// with staggered sleeps so parallel completion order differs from
+// submission order.
+func matrixSpecs(n int, ran *atomic.Int64) []RunSpec[int] {
+	specs := make([]RunSpec[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		specs[i] = RunSpec[int]{
+			Tag: fmt.Sprintf("cell%d", i),
+			Run: func() (int, error) {
+				// Later cells finish first under parallelism.
+				time.Sleep(time.Duration(n-i) * time.Millisecond)
+				if ran != nil {
+					ran.Add(1)
+				}
+				return i * i, nil
+			},
+		}
+	}
+	return specs
+}
+
+func TestRunMatrixOrderedAtAnyWorkerCount(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 32} {
+		p := NewPipeline(QuickScale())
+		p.Workers = workers
+		results, err := RunMatrix(p, "test", matrixSpecs(12, nil))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(results) != 12 {
+			t.Fatalf("workers=%d: got %d results, want 12", workers, len(results))
+		}
+		for i, r := range results {
+			if r.Value != i*i || r.Tag != fmt.Sprintf("cell%d", i) {
+				t.Errorf("workers=%d: results[%d] = {%q, %d}, want {%q, %d}",
+					workers, i, r.Tag, r.Value, fmt.Sprintf("cell%d", i), i*i)
+			}
+			if r.WallSeconds <= 0 {
+				t.Errorf("workers=%d: results[%d].WallSeconds = %g, want > 0",
+					workers, i, r.WallSeconds)
+			}
+		}
+	}
+}
+
+func TestRunMatrixLowestIndexedErrorWins(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ran atomic.Int64
+	specs := matrixSpecs(16, &ran)
+	// Two failing cells; the lower index must be reported at any worker
+	// count, so failures too are deterministic under parallelism.
+	for _, idx := range []int{5, 9} {
+		idx := idx
+		specs[idx].Run = func() (int, error) { return 0, fmt.Errorf("cell %d: %w", idx, sentinel) }
+	}
+	p := NewPipeline(QuickScale())
+	p.Workers = 8
+	results, err := RunMatrix(p, "test", specs)
+	if results != nil {
+		t.Errorf("results = %v, want nil on error", results)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "cell5") || !strings.Contains(err.Error(), "cell 5") {
+		t.Errorf("err = %v, want the lowest-indexed failure (cell 5)", err)
+	}
+	// Dispatch must stop after the failure: with 8 workers and the error
+	// at index 5, the tail of the 16-cell matrix is never claimed.
+	if n := ran.Load(); n >= 14 {
+		t.Errorf("%d successful cells ran after a failure, dispatch never stopped", n)
+	}
+}
+
+func TestRunMatrixEmptyAndDefaults(t *testing.T) {
+	p := NewPipeline(QuickScale())
+	results, err := RunMatrix[int](p, "test", nil)
+	if err != nil || results != nil {
+		t.Errorf("empty matrix: got (%v, %v), want (nil, nil)", results, err)
+	}
+	if p.workers() < 1 {
+		t.Errorf("default workers = %d, want >= 1 (GOMAXPROCS)", p.workers())
+	}
+	p.Workers = 3
+	if p.workers() != 3 {
+		t.Errorf("workers() = %d, want configured 3", p.workers())
+	}
+}
+
+func TestRunMatrixProgressCounters(t *testing.T) {
+	p := NewPipeline(QuickScale())
+	p.Workers = 4
+	var msgs []string
+	p.Progress = func(m string) { msgs = append(msgs, m) } // serialized by progressMu
+	if _, err := RunMatrix(p, "demo", matrixSpecs(6, nil)); err != nil {
+		t.Fatal(err)
+	}
+	var cells, summary int
+	for _, m := range msgs {
+		if strings.Contains(m, "demo: [") {
+			cells++
+		}
+		if strings.Contains(m, "speedup") && strings.Contains(m, "4 workers") {
+			summary++
+		}
+	}
+	if cells != 6 {
+		t.Errorf("got %d per-cell progress lines, want 6: %q", cells, msgs)
+	}
+	if summary != 1 {
+		t.Errorf("got %d summary lines, want 1: %q", summary, msgs)
+	}
+	if !strings.Contains(strings.Join(msgs, "\n"), "[6/6]") {
+		t.Errorf("no final [6/6] counter in %q", msgs)
+	}
+}

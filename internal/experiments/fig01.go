@@ -90,7 +90,6 @@ func (m *fig1Pin) Place(j workload.Job) platform.CoreID {
 // background applications whose QoS targets force both clusters to the peak
 // VF level.
 func (p *Pipeline) Fig1Motivational() (*Fig1Result, error) {
-	res := &Fig1Result{}
 	little, _ := p.plat.ClusterByKind(platform.Little)
 	big, _ := p.plat.ClusterByKind(platform.Big)
 	littleFreqs := freqsOf(little)
@@ -101,6 +100,10 @@ func (p *Pipeline) Fig1Motivational() (*Fig1Result, error) {
 		settle = 30
 	}
 
+	// Build the run matrix first (the minimum-frequency search is cheap and
+	// can fail, so it stays outside the cells), then fan out one isolated
+	// engine per (app, scenario, mapping) cell.
+	var specs []RunSpec[Fig1Row]
 	for _, name := range []string{"adi", "seidel-2d"} {
 		spec, ok := workload.ByName(name)
 		if !ok {
@@ -126,15 +129,20 @@ func (p *Pipeline) Fig1Motivational() (*Fig1Result, error) {
 			{"big", 5, 0, big.IndexOf(fb)},
 		}
 		for _, mp := range maps {
-			e := p.newEngine(true, 0)
-			e.AddJob(workload.Job{Spec: spec, QoS: target})
-			mgr := &fig1Pin{little: mp.li, big: mp.bi,
-				placements: []platform.CoreID{mp.core}}
-			r := e.Run(mgr, settle)
-			res.Rows = append(res.Rows, Fig1Row{
-				App: name, Scenario: 1, Mapping: mp.label,
-				FLittle: little.FreqAt(mp.li), FBig: big.FreqAt(mp.bi),
-				AvgTemp: r.AvgTemp,
+			specs = append(specs, RunSpec[Fig1Row]{
+				Tag: fmt.Sprintf("%s/s1/%s", name, mp.label),
+				Run: func() (Fig1Row, error) {
+					e := p.newEngine(true, 0)
+					e.AddJob(workload.Job{Spec: spec, QoS: target})
+					mgr := &fig1Pin{little: mp.li, big: mp.bi,
+						placements: []platform.CoreID{mp.core}}
+					r := e.Run(mgr, settle)
+					return Fig1Row{
+						App: name, Scenario: 1, Mapping: mp.label,
+						FLittle: little.FreqAt(mp.li), FBig: big.FreqAt(mp.bi),
+						AvgTemp: r.AvgTemp,
+					}, nil
+				},
 			})
 		}
 	}
@@ -149,21 +157,35 @@ func (p *Pipeline) Fig1Motivational() (*Fig1Result, error) {
 		label string
 		core  platform.CoreID
 	}{{"LITTLE", 1}, {"big", 5}} {
-		e := p.newEngine(true, 0)
-		// Background on cores 0 (LITTLE) and 6,7 (big); per-cluster DVFS
-		// forces everything to the peak levels.
-		for range []int{0, 1, 2} {
-			e.AddJob(workload.Job{Spec: bgSpec, QoS: 0})
-		}
-		e.AddJob(workload.Job{Spec: spec, QoS: target})
-		mgr := &fig1Pin{little: little.NumOPPs() - 1, big: big.NumOPPs() - 1,
-			placements: []platform.CoreID{0, 6, 7, mp.core}}
-		r := e.Run(mgr, settle)
-		res.Rows = append(res.Rows, Fig1Row{
-			App: "adi", Scenario: 2, Mapping: mp.label,
-			FLittle: little.MaxFreq(), FBig: big.MaxFreq(),
-			AvgTemp: r.AvgTemp,
+		specs = append(specs, RunSpec[Fig1Row]{
+			Tag: "adi/s2/" + mp.label,
+			Run: func() (Fig1Row, error) {
+				e := p.newEngine(true, 0)
+				// Background on cores 0 (LITTLE) and 6,7 (big); per-cluster
+				// DVFS forces everything to the peak levels.
+				for range []int{0, 1, 2} {
+					e.AddJob(workload.Job{Spec: bgSpec, QoS: 0})
+				}
+				e.AddJob(workload.Job{Spec: spec, QoS: target})
+				mgr := &fig1Pin{little: little.NumOPPs() - 1, big: big.NumOPPs() - 1,
+					placements: []platform.CoreID{0, 6, 7, mp.core}}
+				r := e.Run(mgr, settle)
+				return Fig1Row{
+					App: "adi", Scenario: 2, Mapping: mp.label,
+					FLittle: little.MaxFreq(), FBig: big.MaxFreq(),
+					AvgTemp: r.AvgTemp,
+				}, nil
+			},
 		})
+	}
+
+	cells, err := RunMatrix(p, "fig1", specs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{}
+	for _, c := range cells {
+		res.Rows = append(res.Rows, c.Value)
 	}
 	return res, nil
 }

@@ -64,10 +64,39 @@ func (p *Pipeline) Fig3GridSearch() (*Fig3Result, error) {
 	nnd := d.ToNN()
 	train, val := nnd.Split(0.2, 7)
 	inDim := features.Dim(p.plat.NumCores(), p.plat.NumClusters())
-	res, err := nn.GridSearch(train, val, inDim, p.plat.NumCores(),
-		depths, widths, cfg, 7)
+
+	// One cell per topology: a single-entry GridSearch trains exactly the
+	// model the full grid would (every candidate uses the same seed and an
+	// independent MLP), so fanning out preserves each ValLoss bit-for-bit.
+	var specs []RunSpec[nn.NASCandidate]
+	for _, depth := range depths {
+		for _, width := range widths {
+			specs = append(specs, RunSpec[nn.NASCandidate]{
+				Tag: fmt.Sprintf("d%d-w%d", depth, width),
+				Run: func() (nn.NASCandidate, error) {
+					r, err := nn.GridSearch(train, val, inDim, p.plat.NumCores(),
+						[]int{depth}, []int{width}, cfg, 7)
+					if err != nil {
+						return nn.NASCandidate{}, err
+					}
+					return r.Best, nil
+				},
+			})
+		}
+	}
+	cells, err := RunMatrix(p, "fig3", specs)
 	if err != nil {
 		return nil, err
+	}
+	// Reduce in grid order with GridSearch's strictly-less best selection,
+	// so ties resolve to the same topology as the sequential search.
+	var res nn.NASResult
+	res.Best.ValLoss = -1
+	for _, c := range cells {
+		res.Candidates = append(res.Candidates, c.Value)
+		if res.Best.ValLoss < 0 || c.Value.ValLoss < res.Best.ValLoss {
+			res.Best = c.Value
+		}
 	}
 	out := &Fig3Result{NAS: res}
 	out.Dims.Depths = depths

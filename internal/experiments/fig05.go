@@ -99,23 +99,36 @@ func (p *Pipeline) Fig5MigrationOverhead() (*Fig5Result, error) {
 		return r.Apps[0].MeanIPS, nil
 	}
 
+	// Three cells per application — the two static mappings and the
+	// ping-pong run — each with its own engine and freshly built manager
+	// (managers are stateful, so they cannot be shared across cells).
+	var specs []RunSpec[float64]
+	for _, name := range apps {
+		specs = append(specs,
+			RunSpec[float64]{Tag: name + "/big", Run: func() (float64, error) {
+				return meanIPS(name, &fig1Pin{little: 8, big: 8,
+					placements: []platform.CoreID{5}})
+			}},
+			RunSpec[float64]{Tag: name + "/LITTLE", Run: func() (float64, error) {
+				return meanIPS(name, &fig1Pin{little: 8, big: 8,
+					placements: []platform.CoreID{1}})
+			}},
+			RunSpec[float64]{Tag: name + "/ping-pong", Run: func() (float64, error) {
+				return meanIPS(name, &pingPong{a: 1, b: 5, epoch: 0.5})
+			}},
+		)
+	}
+	cells, err := RunMatrix(p, "fig5", specs)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Fig5Result{}
 	var sum float64
-	for _, name := range apps {
-		big, err := meanIPS(name, &fig1Pin{little: 8, big: 8,
-			placements: []platform.CoreID{5}})
-		if err != nil {
-			return nil, err
-		}
-		little, err := meanIPS(name, &fig1Pin{little: 8, big: 8,
-			placements: []platform.CoreID{1}})
-		if err != nil {
-			return nil, err
-		}
-		mig, err := meanIPS(name, &pingPong{a: 1, b: 5, epoch: 0.5})
-		if err != nil {
-			return nil, err
-		}
+	for i, name := range apps {
+		big := cells[3*i].Value
+		little := cells[3*i+1].Value
+		mig := cells[3*i+2].Value
 		// m = (avg of the two static rates) / migrated rate − 1, using
 		// instruction rates as the inverse execution times.
 		m := 0.5*(big+little)/mig - 1

@@ -83,7 +83,12 @@ func (p *Pipeline) Fig7Illustrative() (*Fig7Result, error) {
 		{"adi", true},
 		{"seidel-2d", false},
 	}
-	res := &Fig7Result{}
+	// Managers need the trained model / pretrained Q-table; build them
+	// once before fan-out so parallel cells never contend on training.
+	if err := p.Warm(); err != nil {
+		return nil, err
+	}
+	var specs []RunSpec[Fig7Trace]
 	for _, c := range cases {
 		for _, tech := range []string{"TOP-IL", "TOP-RL"} {
 			spec, ok := workload.ByName(c.app)
@@ -93,41 +98,54 @@ func (p *Pipeline) Fig7Illustrative() (*Fig7Result, error) {
 			spec.TotalInstr = 1e18
 			target := 0.3 * p.PeakIPS(spec)
 
-			mgr, err := p.Manager(tech, 0)
-			if err != nil {
-				return nil, err
-			}
-			e := p.newEngine(true, 0)
-			e.AddJob(workload.Job{Spec: spec, QoS: target})
+			specs = append(specs, RunSpec[Fig7Trace]{
+				Tag: c.app + "/" + tech,
+				Run: func() (Fig7Trace, error) {
+					mgr, err := p.Manager(tech, 0)
+					if err != nil {
+						return Fig7Trace{}, err
+					}
+					e := p.newEngine(true, 0)
+					e.AddJob(workload.Job{Spec: spec, QoS: target})
 
-			tr := Fig7Trace{App: c.app, Technique: tech, OptimalBig: c.optimalBig}
-			onOpt := 0
-			next := 0.5
-			sample := func() bool {
-				if e.Now() < next-1e-9 {
-					return false
-				}
-				next += 0.5
-				apps := e.Env().Apps()
-				if len(apps) == 0 {
-					return false
-				}
-				onBig := p.plat.KindOf(apps[0].Core) == platform.Big
-				tr.OnBig = append(tr.OnBig, onBig)
-				if onBig == c.optimalBig {
-					onOpt++
-				}
-				return false
-			}
-			r := e.RunUntil(mgr, dur, sample)
-			tr.Migrations = r.Migrations
-			tr.QoSMet = r.Violations == 0
-			tr.AvgTemp = r.AvgTemp
-			if len(tr.OnBig) > 0 {
-				tr.OptimalFrac = float64(onOpt) / float64(len(tr.OnBig))
-			}
-			res.Traces = append(res.Traces, tr)
+					tr := Fig7Trace{App: c.app, Technique: tech, OptimalBig: c.optimalBig}
+					onOpt := 0
+					next := 0.5
+					sample := func() bool {
+						if e.Now() < next-1e-9 {
+							return false
+						}
+						next += 0.5
+						apps := e.Env().Apps()
+						if len(apps) == 0 {
+							return false
+						}
+						onBig := p.plat.KindOf(apps[0].Core) == platform.Big
+						tr.OnBig = append(tr.OnBig, onBig)
+						if onBig == c.optimalBig {
+							onOpt++
+						}
+						return false
+					}
+					r := e.RunUntil(mgr, dur, sample)
+					tr.Migrations = r.Migrations
+					tr.QoSMet = r.Violations == 0
+					tr.AvgTemp = r.AvgTemp
+					if len(tr.OnBig) > 0 {
+						tr.OptimalFrac = float64(onOpt) / float64(len(tr.OnBig))
+					}
+					return tr, nil
+				},
+			})
 		}
+	}
+	cells, err := RunMatrix(p, "fig7", specs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{}
+	for _, c := range cells {
+		res.Traces = append(res.Traces, c.Value)
 	}
 	return res, nil
 }

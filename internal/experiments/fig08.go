@@ -123,13 +123,39 @@ func (r *Fig8Result) RenderFig10() string {
 }
 
 // Fig8Main runs the mixed-workload experiment for the given cooling setup.
+// The (technique × rate × seed) matrix fans out on the executor; the
+// reduction below walks the ordered results in exactly the sequential
+// nesting, so every summary and CPU-time accumulation keeps its original
+// floating-point evaluation order.
 func (p *Pipeline) Fig8Main(fan bool) (*Fig8Result, error) {
+	if err := p.Warm(); err != nil {
+		return nil, err
+	}
+	var specs []RunSpec[*sim.Result]
+	for _, tech := range Techniques() {
+		for _, rate := range p.Scale.ArrivalRates {
+			for si := range p.Scale.Seeds {
+				specs = append(specs, RunSpec[*sim.Result]{
+					Tag: fmt.Sprintf("fan=%v/%s/r%.2f/seed%d", fan, tech, rate, p.Scale.Seeds[si]),
+					Run: func() (*sim.Result, error) {
+						return p.runMixed(tech, si, rate, fan)
+					},
+				})
+			}
+		}
+	}
+	cells, err := RunMatrix(p, "fig8", specs)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Fig8Result{Fan: fan, CPUTime: map[string][][]float64{}}
 
 	type accum struct {
 		temps, peaks, viols, utils, peakUtils, throttles []float64
 	}
 
+	idx := 0
 	for _, tech := range Techniques() {
 		cpuAgg := make([][]float64, p.plat.NumClusters())
 		for ci, c := range p.plat.Clusters {
@@ -137,11 +163,9 @@ func (p *Pipeline) Fig8Main(fan bool) (*Fig8Result, error) {
 		}
 		for _, rate := range p.Scale.ArrivalRates {
 			var a accum
-			for si := range p.Scale.Seeds {
-				r, err := p.runMixed(tech, si, rate, fan)
-				if err != nil {
-					return nil, err
-				}
+			for range p.Scale.Seeds {
+				r := cells[idx].Value
+				idx++
 				a.temps = append(a.temps, r.AvgTemp)
 				a.peaks = append(a.peaks, r.PeakTemp)
 				a.viols = append(a.viols, float64(r.Violations))
@@ -164,7 +188,6 @@ func (p *Pipeline) Fig8Main(fan bool) (*Fig8Result, error) {
 				PeakUtil:    stats.Summarize(a.peakUtils),
 				ThrottleSec: stats.Summarize(a.throttles),
 			})
-			p.progress("fig8 fan=%v %s rate=%.2f done", fan, tech, rate)
 		}
 		res.CPUTime[tech] = cpuAgg
 	}

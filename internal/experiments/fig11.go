@@ -71,7 +71,14 @@ func (p *Pipeline) Fig11SingleApp() (*Fig11Result, error) {
 	if p.Scale.Name == "quick" {
 		dur = 60
 	}
-	res := &Fig11Result{}
+	if err := p.Warm(); err != nil {
+		return nil, err
+	}
+	type cell struct {
+		AvgTemp  float64 // °C, time-averaged sensor temperature
+		Violated bool
+	}
+	var specs []RunSpec[cell]
 	for _, name := range workload.UnseenSet() {
 		spec, ok := workload.ByName(name)
 		if !ok {
@@ -85,18 +92,39 @@ func (p *Pipeline) Fig11SingleApp() (*Fig11Result, error) {
 		target := 0.90 * p.littleMaxMeanIPS(spec)
 
 		for _, tech := range Techniques() {
+			for si := range p.Scale.Seeds {
+				specs = append(specs, RunSpec[cell]{
+					Tag: fmt.Sprintf("%s/%s/seed%d", name, tech, p.Scale.Seeds[si]),
+					Run: func() (cell, error) {
+						mgr, err := p.Manager(tech, si)
+						if err != nil {
+							return cell{}, err
+						}
+						e := p.newEngine(true, p.Scale.Seeds[si])
+						e.AddJob(workload.Job{Spec: spec, QoS: target})
+						r := e.Run(mgr, dur)
+						return cell{AvgTemp: r.AvgTemp, Violated: r.Violations > 0}, nil
+					},
+				})
+			}
+		}
+	}
+	cells, err := RunMatrix(p, "fig11", specs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig11Result{}
+	idx := 0
+	for _, name := range workload.UnseenSet() {
+		for _, tech := range Techniques() {
 			var temps []float64
 			viol := 0
-			for si := range p.Scale.Seeds {
-				mgr, err := p.Manager(tech, si)
-				if err != nil {
-					return nil, err
-				}
-				e := p.newEngine(true, p.Scale.Seeds[si])
-				e.AddJob(workload.Job{Spec: spec, QoS: target})
-				r := e.Run(mgr, dur)
-				temps = append(temps, r.AvgTemp)
-				if r.Violations > 0 {
+			for range p.Scale.Seeds {
+				c := cells[idx].Value
+				idx++
+				temps = append(temps, c.AvgTemp)
+				if c.Violated {
 					viol++
 				}
 			}
@@ -107,7 +135,6 @@ func (p *Pipeline) Fig11SingleApp() (*Fig11Result, error) {
 				Runs:       len(p.Scale.Seeds),
 			})
 		}
-		p.progress("fig11 %s done", name)
 	}
 	return res, nil
 }

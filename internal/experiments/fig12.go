@@ -83,16 +83,39 @@ func (p *Pipeline) Fig12Overhead() (*Fig12Result, error) {
 		return mgr.Stats(), r.Duration, nil
 	}
 
+	// The overhead numbers come from the managers' deterministic cost
+	// model, not wall-clock measurement, so the cells parallelize without
+	// perturbing each other.
+	type cell struct {
+		st core.OverheadStats
+		d  float64
+	}
+	counts := []int{1, 2, 4, 8, 12, 16}
+	var specs []RunSpec[cell]
+	for _, apps := range counts {
+		for _, useNPU := range []bool{true, false} {
+			backend := "npu"
+			if !useNPU {
+				backend = "cpu"
+			}
+			specs = append(specs, RunSpec[cell]{
+				Tag: fmt.Sprintf("%dapps/%s", apps, backend),
+				Run: func() (cell, error) {
+					st, d, err := run(apps, useNPU)
+					return cell{st: st, d: d}, err
+				},
+			})
+		}
+	}
+	cells, err := RunMatrix(p, "fig12", specs)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Fig12Result{}
-	for _, apps := range []int{1, 2, 4, 8, 12, 16} {
-		st, d, err := run(apps, true)
-		if err != nil {
-			return nil, err
-		}
-		cpuSt, _, err := run(apps, false)
-		if err != nil {
-			return nil, err
-		}
+	for i, apps := range counts {
+		st, d := cells[2*i].Value.st, cells[2*i].Value.d
+		cpuSt := cells[2*i+1].Value.st
 		row := Fig12Row{Apps: apps}
 		if st.DVFSInvocations > 0 {
 			row.DVFSMsPerCall = st.DVFSSeconds / float64(st.DVFSInvocations) * 1e3

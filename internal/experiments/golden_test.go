@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderFig1 runs Fig. 1 with the given worker count and returns the
+// rendered report and CSV bytes.
+func renderFig1(t *testing.T, workers int) (string, []byte) {
+	t.Helper()
+	p := NewPipeline(QuickScale())
+	p.Workers = workers
+	r, err := p.Fig1Motivational()
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var csv bytes.Buffer
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return r.Render(), csv.Bytes()
+}
+
+// TestFig1GoldenAcrossWorkerCounts is the executor's determinism guarantee
+// in its user-visible form: the report text and the CSV artifact must be
+// byte-identical at -j 1 and -j 8. Fig. 1 needs no trained artifacts, so
+// the test stays cheap enough for -race -short runs.
+func TestFig1GoldenAcrossWorkerCounts(t *testing.T) {
+	seqReport, seqCSV := renderFig1(t, 1)
+	parReport, parCSV := renderFig1(t, 8)
+	if seqReport != parReport {
+		t.Errorf("report differs between -j1 and -j8:\n--- j1 ---\n%s\n--- j8 ---\n%s",
+			seqReport, parReport)
+	}
+	if !bytes.Equal(seqCSV, parCSV) {
+		t.Errorf("CSV differs between -j1 and -j8:\n--- j1 ---\n%s\n--- j8 ---\n%s",
+			seqCSV, parCSV)
+	}
+	if len(seqCSV) == 0 {
+		t.Fatal("empty CSV artifact")
+	}
+}
+
+// TestFig5GoldenAcrossWorkerCounts covers a second figure with a different
+// matrix shape (per-app cells reduced by position, not appended in order).
+func TestFig5GoldenAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 matrix too slow for -short")
+	}
+	run := func(workers int) (string, []byte) {
+		p := NewPipeline(QuickScale())
+		p.Workers = workers
+		r, err := p.Fig5MigrationOverhead()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var csv bytes.Buffer
+		if err := r.WriteCSV(&csv); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r.Render(), csv.Bytes()
+	}
+	seqReport, seqCSV := run(1)
+	parReport, parCSV := run(8)
+	if seqReport != parReport {
+		t.Errorf("report differs between -j1 and -j8:\n--- j1 ---\n%s\n--- j8 ---\n%s",
+			seqReport, parReport)
+	}
+	if !bytes.Equal(seqCSV, parCSV) {
+		t.Errorf("CSV differs between -j1 and -j8")
+	}
+}

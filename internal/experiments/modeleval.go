@@ -59,19 +59,30 @@ func (p *Pipeline) ModelEvaluation() (*ModelEvalResult, error) {
 
 	topo := nn.PaperTopology(features.Dim(p.plat.NumCores(), p.plat.NumClusters()),
 		p.plat.NumCores())
-	var within, excess, infeasible []float64
+	// One training+evaluation cell per seed; TrainModel only reads the
+	// shared dataset, so the seeds fan out safely.
+	var specs []RunSpec[core.ModelEval]
 	for _, seed := range p.Scale.Seeds {
-		m, _, err := core.TrainModel(d, topo, seed, p.Scale.TrainCfg)
-		if err != nil {
-			return nil, err
-		}
-		ev, err := core.EvaluateModel(m, testData)
-		if err != nil {
-			return nil, err
-		}
-		within = append(within, ev.WithinOneC)
-		excess = append(excess, ev.MeanExcess)
-		infeasible = append(infeasible, ev.InfeasibleFrac)
+		specs = append(specs, RunSpec[core.ModelEval]{
+			Tag: fmt.Sprintf("seed%d", seed),
+			Run: func() (core.ModelEval, error) {
+				m, _, err := core.TrainModel(d, topo, seed, p.Scale.TrainCfg)
+				if err != nil {
+					return core.ModelEval{}, err
+				}
+				return core.EvaluateModel(m, testData)
+			},
+		})
+	}
+	cells, err := RunMatrix(p, "modeleval", specs)
+	if err != nil {
+		return nil, err
+	}
+	var within, excess, infeasible []float64
+	for _, c := range cells {
+		within = append(within, c.Value.WithinOneC)
+		excess = append(excess, c.Value.MeanExcess)
+		infeasible = append(infeasible, c.Value.InfeasibleFrac)
 	}
 	return &ModelEvalResult{
 		TestAoIs:   heldOut,

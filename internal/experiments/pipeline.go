@@ -105,6 +105,10 @@ type Pipeline struct {
 	// by far the most expensive steps, exactly as on the paper's board.
 	ArtifactsDir string
 
+	// Workers bounds RunMatrix concurrency; zero means GOMAXPROCS.
+	// Results are deterministic at any setting — see RunMatrix.
+	Workers int
+
 	mu      sync.Mutex
 	dataset *oracle.Dataset
 	models  []*nn.MLP
@@ -112,8 +116,12 @@ type Pipeline struct {
 	perf    perf.Model
 	plat    *platform.Platform
 
-	// Progress, if set, receives coarse progress messages.
+	// Progress, if set, receives coarse progress messages. Calls are
+	// serialized (progressMu), so the callback may write to a shared
+	// sink without its own locking even during parallel fan-out.
 	Progress func(msg string)
+
+	progressMu sync.Mutex
 }
 
 // NewPipeline creates a pipeline at the given scale.
@@ -122,9 +130,12 @@ func NewPipeline(s Scale) *Pipeline {
 }
 
 func (p *Pipeline) progress(format string, args ...interface{}) {
-	if p.Progress != nil {
-		p.Progress(fmt.Sprintf(format, args...))
+	if p.Progress == nil {
+		return
 	}
+	p.progressMu.Lock()
+	defer p.progressMu.Unlock()
+	p.Progress(fmt.Sprintf(format, args...))
 }
 
 // Dataset returns the oracle dataset, building it on first use: canonical

@@ -251,7 +251,7 @@ func warmupTemps(scn Scenario, cfg Config, ll, bl int) []float64 {
 		e.AddJob(workload.Job{Spec: endless(b.Spec), QoS: 0, Arrival: 0})
 	}
 	e.Run(mgr, cfg.WarmupSec)
-	return append([]float64(nil), sc.Thermal.Temps()...)
+	return sc.Thermal.Temps() // already a copy
 }
 
 // measure runs background + AoI on `core` at the given levels, starting

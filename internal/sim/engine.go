@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -160,25 +161,54 @@ type Engine struct {
 	env  *Env
 	mets *collector
 
-	pending []workload.Job // sorted by arrival, not yet started
-	apps    []*appState    // all instances, arrived or done
-	byCore  [][]AppID      // running app IDs per core
+	// pending[pendHead:] holds the not-yet-arrived jobs sorted by arrival.
+	// Consumed entries are zeroed and skipped via the head index (never
+	// resliced away), so long job traces neither pin finished jobs live nor
+	// lose the front of the backing array; the prefix is compacted once it
+	// dominates the slice.
+	pending  []workload.Job
+	pendHead int
+
+	apps   []*appState // all instances, arrived or done
+	byCore [][]AppID   // running app IDs per core
 
 	freqIdx []int // current VF level per cluster
 	dtmCap  []int // max VF level allowed by DTM per cluster
 	tripped bool
 
-	now          float64
-	nextManager  float64
-	nextSensor   float64
-	nextDTM      float64
+	// The clock is an integer tick counter: now = tick·Dt, and the
+	// manager/sensor/DTM cadences are tick multiples. Accumulating floats
+	// (now += dt) drifts over long runs — after hours of simulated time the
+	// 500 ms epochs fall off the paper's schedule and runs stop being
+	// bit-reproducible across different Run() call patterns.
+	tick         int64
+	now          float64 // tick·Dt, cached for the float-time consumers
+	managerEvery int64   // manager period in ticks
+	sensorEvery  int64   // sensor period in ticks
+	dtmEvery     int64   // DTM period in ticks
+	managerFires int64   // lifetime fire counts (tick-clock regression tests)
+	sensorFires  int64
+	dtmFires     int64
+
 	sensorT      float64 // last sensor sample (°C)
 	overheadDebt float64 // seconds of management overhead to charge to core 0
 
 	corePower []float64 // scratch: power per thermal node
+	tempsBuf  []float64 // scratch: thermal.TempsInto target, one per node
 	coreUtil  [][]float64
 	coreUtilN int
 	utilNext  int
+}
+
+// ticksOf converts a period in seconds to a whole number of Dt ticks
+// (nearest, at least one): periods are configured as multiples of Dt, so
+// rounding only absorbs float noise in the division.
+func ticksOf(period, dt float64) int64 {
+	t := int64(math.Round(period / dt))
+	if t < 1 {
+		t = 1
+	}
+	return t
 }
 
 // New creates an engine. The thermal network in cfg must have at least one
@@ -200,13 +230,20 @@ func New(cfg Config) *Engine {
 		cfg.WindowTicks = 10
 	}
 	e := &Engine{
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		freqIdx:   make([]int, cfg.Platform.NumClusters()),
-		dtmCap:    make([]int, cfg.Platform.NumClusters()),
-		byCore:    make([][]AppID, cfg.Platform.NumCores()),
-		corePower: make([]float64, len(cfg.Thermal.Nodes)),
-		sensorT:   cfg.Thermal.Max(),
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		freqIdx:      make([]int, cfg.Platform.NumClusters()),
+		dtmCap:       make([]int, cfg.Platform.NumClusters()),
+		byCore:       make([][]AppID, cfg.Platform.NumCores()),
+		corePower:    make([]float64, len(cfg.Thermal.Nodes)),
+		tempsBuf:     make([]float64, len(cfg.Thermal.Nodes)),
+		sensorT:      cfg.Thermal.Max(),
+		managerEvery: ticksOf(cfg.ManagerPeriod, cfg.Dt),
+		sensorEvery:  ticksOf(cfg.SensorPeriod, cfg.Dt),
+		dtmEvery:     1,
+	}
+	if cfg.DTM.Enable {
+		e.dtmEvery = ticksOf(cfg.DTM.Period, cfg.Dt)
 	}
 	for ci, c := range cfg.Platform.Clusters {
 		e.freqIdx[ci] = 0
@@ -229,9 +266,15 @@ func (e *Engine) AddJob(job workload.Job) {
 	if err := job.Spec.Validate(); err != nil {
 		panic("sim: invalid job: " + err.Error())
 	}
+	if e.pendHead == len(e.pending) {
+		// Queue fully drained: restart at the front of the backing array.
+		e.pending = e.pending[:0]
+		e.pendHead = 0
+	}
 	e.pending = append(e.pending, job)
-	sort.SliceStable(e.pending, func(i, j int) bool {
-		return e.pending[i].Arrival < e.pending[j].Arrival
+	live := e.pending[e.pendHead:]
+	sort.SliceStable(live, func(i, j int) bool {
+		return live[i].Arrival < live[j].Arrival
 	})
 }
 
@@ -248,7 +291,7 @@ func (e *Engine) Env() *Env { return e.env }
 // Done reports whether every scheduled application has arrived and
 // finished.
 func (e *Engine) Done() bool {
-	if len(e.pending) > 0 {
+	if e.pendHead < len(e.pending) {
 		return false
 	}
 	for _, a := range e.apps {
@@ -275,11 +318,11 @@ func (e *Engine) RunUntil(m Manager, duration float64, stop func() bool) *Result
 	if m != nil {
 		m.Attach(e.env)
 	}
-	end := e.now + duration
-	for e.now < end-1e-9 {
-		if m != nil && e.now >= e.nextManager-1e-9 {
+	end := e.tick + int64(math.Ceil(duration/e.cfg.Dt-1e-9))
+	for e.tick < end {
+		if m != nil && e.tick%e.managerEvery == 0 {
+			e.managerFires++
 			m.Tick(e.now)
-			e.nextManager = e.now + e.cfg.ManagerPeriod
 		}
 		e.step(m)
 		if stop != nil && stop() {
@@ -294,10 +337,19 @@ func (e *Engine) step(m Manager) {
 	dt := e.cfg.Dt
 
 	// 1. Arrivals.
-	for len(e.pending) > 0 && e.pending[0].Arrival <= e.now+1e-9 {
-		job := e.pending[0]
-		e.pending = e.pending[1:]
+	for e.pendHead < len(e.pending) && e.pending[e.pendHead].Arrival <= e.now+1e-9 {
+		job := e.pending[e.pendHead]
+		e.pending[e.pendHead] = workload.Job{} // release the spec's slices
+		e.pendHead++
 		e.admit(job, m)
+	}
+	if e.pendHead > 64 && e.pendHead*2 >= len(e.pending) {
+		n := copy(e.pending, e.pending[e.pendHead:])
+		for i := n; i < len(e.pending); i++ {
+			e.pending[i] = workload.Job{}
+		}
+		e.pending = e.pending[:n]
+		e.pendHead = 0
 	}
 
 	// 2. Execute applications with per-core time sharing.
@@ -307,19 +359,20 @@ func (e *Engine) step(m Manager) {
 	e.integrate(dt)
 
 	// 4. Sensor sampling (20 Hz).
-	if e.now >= e.nextSensor-1e-9 {
+	if e.tick%e.sensorEvery == 0 {
+		e.sensorFires++
 		e.sensorT = e.readSensor()
-		e.nextSensor = e.now + e.cfg.SensorPeriod
 	}
 
 	// 5. DTM.
-	if e.cfg.DTM.Enable && e.now >= e.nextDTM-1e-9 {
+	if e.cfg.DTM.Enable && e.tick%e.dtmEvery == 0 {
+		e.dtmFires++
 		e.dtmStep()
-		e.nextDTM = e.now + e.cfg.DTM.Period
 	}
 
 	e.mets.sample(e, dt)
-	e.now += dt
+	e.tick++
+	e.now = float64(e.tick) * dt
 }
 
 // admit places a newly arrived job on a core and registers it. It panics
@@ -450,7 +503,8 @@ func (e *Engine) integrate(dt float64) {
 	for i := range e.corePower {
 		e.corePower[i] = 0
 	}
-	temps := e.cfg.Thermal.Temps()
+	temps := e.tempsBuf
+	e.cfg.Thermal.TempsInto(temps)
 	for c := 0; c < e.cfg.Platform.NumCores(); c++ {
 		cid := e.cfg.Platform.ClusterIndexOf(platform.CoreID(c))
 		cluster := e.cfg.Platform.Clusters[cid]

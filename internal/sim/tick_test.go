@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// countingManager counts its own Tick invocations.
+type countingManager struct {
+	env   *Env
+	ticks int64
+}
+
+func (m *countingManager) Name() string     { return "counting" }
+func (m *countingManager) Attach(env *Env)  { m.env = env }
+func (m *countingManager) Tick(now float64) { m.ticks++ }
+
+// TestTickClockExactCadence is the regression test for the float-time-drift
+// bug: with the accumulating `now += dt` clock and epsilon comparisons, the
+// 50 ms manager/sensor/DTM cadences drifted off schedule over long runs.
+// The integer tick clock must fire each of them exactly duration/period
+// times over a 10,000 s simulated run.
+func TestTickClockExactCadence(t *testing.T) {
+	cfg := DefaultConfig(true, 25)
+	cfg.SensorNoise = 0
+	e := New(cfg)
+	m := &countingManager{}
+	const duration = 10000.0
+	e.Run(m, duration)
+
+	wantTicks := int64(duration / cfg.Dt) // 1e6
+	if e.tick != wantTicks {
+		t.Fatalf("simulation ticks = %d, want %d", e.tick, wantTicks)
+	}
+	wantFires := int64(duration / cfg.ManagerPeriod) // 200,000
+	if m.ticks != wantFires || e.managerFires != wantFires {
+		t.Errorf("manager fired %d times (engine: %d), want exactly %d",
+			m.ticks, e.managerFires, wantFires)
+	}
+	if want := int64(duration / cfg.SensorPeriod); e.sensorFires != want {
+		t.Errorf("sensor fired %d times, want exactly %d", e.sensorFires, want)
+	}
+	if want := int64(duration / cfg.DTM.Period); e.dtmFires != want {
+		t.Errorf("DTM fired %d times, want exactly %d", e.dtmFires, want)
+	}
+	// The clock itself must not drift: now is derived as tick·dt, not
+	// accumulated.
+	if want := float64(wantTicks) * cfg.Dt; e.Now() != want {
+		t.Errorf("Now() = %.17g, want exactly %.17g", e.Now(), want)
+	}
+}
+
+// TestTickClockChunkedRunsMatch asserts that splitting a run into repeated
+// Run calls preserves both the clock and every cadence — cross-run
+// determinism that float accumulation breaks.
+func TestTickClockChunkedRunsMatch(t *testing.T) {
+	run := func(chunks int) (int64, int64, int64, float64) {
+		cfg := DefaultConfig(true, 25)
+		e := New(cfg)
+		m := &countingManager{}
+		for i := 0; i < chunks; i++ {
+			e.Run(m, 500/float64(chunks))
+		}
+		return m.ticks, e.sensorFires, e.dtmFires, e.Now()
+	}
+	m1, s1, d1, n1 := run(1)
+	m4, s4, d4, n4 := run(4)
+	if m1 != m4 || s1 != s4 || d1 != d4 || n1 != n4 {
+		t.Errorf("chunked run diverged: (%d,%d,%d,%g) vs (%d,%d,%d,%g)",
+			m1, s1, d1, n1, m4, s4, d4, n4)
+	}
+}
+
+// TestSubTickPeriodsClampToEveryTick: periods below Dt fire once per tick
+// rather than spinning.
+func TestSubTickPeriodsClampToEveryTick(t *testing.T) {
+	cfg := DefaultConfig(true, 25)
+	cfg.ManagerPeriod = cfg.Dt / 4
+	e := New(cfg)
+	m := &countingManager{}
+	e.Run(m, 1)
+	if want := int64(math.Round(1 / cfg.Dt)); m.ticks != want {
+		t.Errorf("sub-tick period fired %d times over 100 ticks, want %d", m.ticks, want)
+	}
+}
+
+// TestPendingQueueReleasesAndCompacts covers the arrivals-queue head-index
+// replacement of the old `pending = pending[1:]` reslicing, which pinned
+// every consumed job in the backing array for the engine's lifetime.
+func TestPendingQueueReleasesAndCompacts(t *testing.T) {
+	cfg := DefaultConfig(true, 25)
+	e := New(cfg)
+	const jobs = 300
+	for i := 0; i < jobs; i++ {
+		e.AddJob(job(t, "adi", 0, float64(i)*0.01, 1e6))
+	}
+	e.Run(&fixedManager{little: 8, big: 8}, 5)
+	if got := len(e.apps); got != jobs {
+		t.Fatalf("admitted %d jobs, want %d", got, jobs)
+	}
+	// The consumed prefix must have been compacted away, not accumulated.
+	if e.pendHead > 64 {
+		t.Errorf("pendHead = %d, compaction never ran", e.pendHead)
+	}
+	for i := 0; i < e.pendHead; i++ {
+		if e.pending[i].Spec.Name != "" {
+			t.Fatalf("consumed pending[%d] still references its spec", i)
+		}
+	}
+	if !e.Done() {
+		t.Error("engine not Done after all arrivals completed")
+	}
+
+	// Interleaving AddJob with consumption keeps arrival order.
+	e2 := New(DefaultConfig(true, 25))
+	e2.AddJob(job(t, "adi", 0, 0.5, 1e6))
+	e2.AddJob(job(t, "adi", 0, 0.1, 1e6))
+	e2.Run(&fixedManager{little: 8, big: 8}, 0.3) // consumes the 0.1 arrival
+	e2.AddJob(job(t, "seidel-2d", 0, 0.4, 1e6))   // sorts into the live tail
+	e2.Run(&fixedManager{little: 8, big: 8}, 0.3)
+	if len(e2.apps) != 3 {
+		t.Fatalf("apps = %d, want 3", len(e2.apps))
+	}
+	if e2.apps[1].job.Spec.Name != "seidel-2d" {
+		t.Errorf("second arrival = %s, want seidel-2d (arrival order)", e2.apps[1].job.Spec.Name)
+	}
+}

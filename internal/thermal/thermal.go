@@ -30,6 +30,7 @@ type Network struct {
 	g    [][]float64 // symmetric node-to-node conductances
 	gAmb []float64   // node-to-ambient conductances
 	t    []float64   // current temperatures
+	dT   []float64   // Step scratch: per-substep temperature deltas
 
 	// maxStep is the largest integration step (s) guaranteeing forward-
 	// Euler stability; computed lazily from capacities and conductances.
@@ -54,6 +55,7 @@ func NewNetwork(nodes []Node, tAmb float64) *Network {
 		g:     g,
 		gAmb:  make([]float64, n),
 		t:     t,
+		dT:    make([]float64, n),
 	}
 }
 
@@ -118,7 +120,9 @@ func (n *Network) Step(power []float64, dt float64) {
 	h := n.stableStep()
 	steps := int(dt/h) + 1
 	h = dt / float64(steps)
-	dT := make([]float64, len(n.Nodes))
+	// The delta buffer is engine-hot-loop state: Step runs once per
+	// simulation tick, so it must not allocate.
+	dT := n.dT
 	for s := 0; s < steps; s++ {
 		for i := range n.Nodes {
 			q := power[i] + n.gAmb[i]*(n.TAmb-n.t[i])
@@ -135,8 +139,20 @@ func (n *Network) Step(power []float64, dt float64) {
 	}
 }
 
-// Temps returns the current node temperatures (shared slice; do not modify).
-func (n *Network) Temps() []float64 { return n.t }
+// Temps returns a copy of the current node temperatures in °C. Hot paths
+// that cannot afford the allocation should use TempsInto with a reused
+// buffer instead.
+func (n *Network) Temps() []float64 { return append([]float64(nil), n.t...) }
+
+// TempsInto copies the current node temperatures in °C into dst without
+// allocating. It panics on a length mismatch: callers size the buffer from
+// len(Nodes) once, so a mismatch is a programming error.
+func (n *Network) TempsInto(dst []float64) {
+	if len(dst) != len(n.t) {
+		panic("thermal: temperature buffer length mismatch")
+	}
+	copy(dst, n.t)
+}
 
 // Temp returns the temperature of node i.
 func (n *Network) Temp(i int) float64 { return n.t[i] }

@@ -228,3 +228,64 @@ func TestCalibrationSanity(t *testing.T) {
 		t.Errorf("no-fan package steady state = %.1f, want 60-95 °C", noFan[PkgNode])
 	}
 }
+
+func TestTempsReturnsCopy(t *testing.T) {
+	n := HiKey970Network(true, 25)
+	ts := n.Temps()
+	ts[0] = 999
+	if n.Temp(0) == 999 {
+		t.Error("Temps returned the live internal slice")
+	}
+}
+
+func TestTempsInto(t *testing.T) {
+	n := HiKey970Network(true, 25)
+	p := make([]float64, 9)
+	p[4] = 3
+	n.Step(p, 10)
+	dst := make([]float64, len(n.Nodes))
+	n.TempsInto(dst)
+	for i, v := range n.Temps() {
+		if dst[i] != v {
+			t.Errorf("node %d: TempsInto %g != Temps %g", i, dst[i], v)
+		}
+	}
+	// Writing through the buffer must not touch network state.
+	dst[4] = -1
+	if n.Temp(4) == -1 {
+		t.Error("TempsInto aliased internal state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short buffer: expected panic")
+		}
+	}()
+	n.TempsInto(make([]float64, 2))
+}
+
+func TestStepAndTempsIntoDoNotAllocate(t *testing.T) {
+	n := HiKey970Network(true, 25)
+	p := make([]float64, 9)
+	p[4], p[6] = 2, 3
+	dst := make([]float64, len(n.Nodes))
+	n.Step(p, 0.01) // warm the lazy stableStep cache
+	allocs := testing.AllocsPerRun(100, func() {
+		n.Step(p, 0.01)
+		n.TempsInto(dst)
+	})
+	if allocs != 0 {
+		t.Errorf("Step+TempsInto allocate %.1f objects per tick, want 0", allocs)
+	}
+}
+
+func BenchmarkNetworkStep(b *testing.B) {
+	n := HiKey970Network(true, 25)
+	p := make([]float64, 9)
+	p[4], p[6], p[PkgNode] = 2, 3, 0.5
+	n.Step(p, 0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(p, 0.01)
+	}
+}

@@ -1,0 +1,154 @@
+// Command benchexp measures the experiment executor's parallel speedup:
+// it runs representative multi-cell figures once sequentially (-j 1) and
+// once on a parallel pool, verifies the reports are byte-identical, and
+// writes the wall-clock comparison to BENCH_experiments.json. The speedup
+// scales with the machine — num_cpu and go_max_procs are recorded so a
+// 1-core CI box reporting ~1.0x is interpretable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type benchResult struct {
+	Name       string  `json:"name"`
+	Cells      int     `json:"cells"`
+	Workers    int     `json:"workers"`
+	SeqSeconds float64 `json:"seq_seconds"`
+	ParSeconds float64 `json:"par_seconds"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"identical_output"`
+}
+
+type benchFile struct {
+	NumCPU     int           `json:"num_cpu"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	Scale      string        `json:"scale"`
+	Benches    []benchResult `json:"benches"`
+}
+
+// benchScale shrinks the quick scale further so the bench finishes in tens
+// of seconds: the point is the seq/par wall-clock ratio over many cells,
+// not the figures' scientific content.
+func benchScale() experiments.Scale {
+	s := experiments.QuickScale()
+	s.OracleScenarios = 1
+	s.OracleCfg.LevelGrid = []int{0, 8}
+	s.OracleCfg.WarmupSec = 4
+	s.OracleCfg.MeasureSec = 2
+	s.OracleCfg.QoSFracs = []float64{0.3, 0.6}
+	s.TrainCfg.MaxEpochs = 5
+	s.TrainCfg.Patience = 3
+	s.RLPretrain.DurationSec = 20
+	s.RLPretrain.NumJobs = 4
+	s.Seeds = []int64{1, 2, 3} // multi-seed: the matrix the pool exploits
+	return s
+}
+
+// pipeline builds a warmed pipeline so the timed sections measure only the
+// run matrix, never training.
+func pipeline(artifacts string, workers int) *experiments.Pipeline {
+	p := experiments.NewPipeline(benchScale())
+	p.ArtifactsDir = artifacts
+	p.Workers = workers
+	if err := p.Warm(); err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchexp: ")
+	var (
+		out     = flag.String("out", "BENCH_experiments.json", "output path")
+		workers = flag.Int("j", 0, "parallel worker count (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	artifacts, err := os.MkdirTemp("", "benchexp-artifacts-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(artifacts)
+	log.Print("warming design-time artifacts (not timed)")
+	pipeline(artifacts, 1)
+
+	file := benchFile{
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      "bench (reduced quick)",
+	}
+
+	type figure struct {
+		name string
+		run  func(p *experiments.Pipeline) (report string, cells int, err error)
+	}
+	figures := []figure{
+		{"fig5-migration", func(p *experiments.Pipeline) (string, int, error) {
+			r, err := p.Fig5MigrationOverhead()
+			if err != nil {
+				return "", 0, err
+			}
+			return r.Render(), 3 * len(r.Rows), nil
+		}},
+		{"fig8a-main", func(p *experiments.Pipeline) (string, int, error) {
+			r, err := p.Fig8Main(true)
+			if err != nil {
+				return "", 0, err
+			}
+			return r.Render(), len(r.Cells) * len(p.Scale.Seeds), nil
+		}},
+	}
+
+	for _, fig := range figures {
+		seqStart := time.Now()
+		seqReport, cells, err := fig.run(pipeline(artifacts, 1))
+		if err != nil {
+			log.Fatalf("%s sequential: %v", fig.name, err)
+		}
+		seqSeconds := time.Since(seqStart).Seconds()
+
+		parStart := time.Now()
+		parReport, _, err := fig.run(pipeline(artifacts, *workers))
+		if err != nil {
+			log.Fatalf("%s parallel: %v", fig.name, err)
+		}
+		parSeconds := time.Since(parStart).Seconds()
+
+		speedup := 0.0
+		if parSeconds > 0 {
+			speedup = seqSeconds / parSeconds
+		}
+		identical := seqReport == parReport
+		if !identical {
+			log.Printf("WARNING: %s output differs between -j 1 and -j %d", fig.name, *workers)
+		}
+		file.Benches = append(file.Benches, benchResult{
+			Name: fig.name, Cells: cells, Workers: *workers,
+			SeqSeconds: seqSeconds, ParSeconds: parSeconds,
+			Speedup: speedup, Identical: identical,
+		})
+		log.Printf("%s: %d cells, seq %.1fs, par %.1fs (-j %d), %.2fx",
+			fig.name, cells, seqSeconds, parSeconds, *workers, speedup)
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}
