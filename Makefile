@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race serve-smoke bench
+.PHONY: check build vet lint test race cover fuzz serve-smoke bench
 
-check: build vet lint test race
+check: build vet lint test race cover
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,18 @@ race:
 	$(GO) test -race ./internal/serve/... ./internal/npu/... ./internal/nn/... \
 		./internal/workload/... ./internal/sim/...
 	$(GO) test -race -short ./internal/experiments/...
+
+# Coverage gate: statement coverage of the serving, simulation and testkit
+# packages must not drop below scripts/coverage_baseline.txt.
+cover:
+	./scripts/coverage_gate.sh
+
+# Short-budget fuzzing pass over every Fuzz* target (Go runs one target per
+# invocation). Crashers land in testdata/fuzz/ and replay as plain tests;
+# commit them. See docs/TESTING.md.
+fuzz:
+	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzEngineChaos$$' -fuzztime=10s
+	$(GO) test ./internal/workload -run '^$$' -fuzz '^FuzzJobEntries$$' -fuzztime=10s
 
 # Quick end-to-end: build the service and exercise one infer round trip.
 serve-smoke:

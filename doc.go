@@ -22,6 +22,7 @@
 //	internal/experiments  every figure of the evaluation
 //	internal/serve        HTTP service: batched inference + sim job pool
 //	internal/analysis     custom static analysis (cmd/topil-lint)
+//	internal/testkit      chaos injection + invariant/differential harness
 //	cmd/...               train / simulate / reproduce-all tools
 //	examples/...          runnable API demos
 //
@@ -29,7 +30,10 @@
 // substitution rationale, and EXPERIMENTS.md for paper-vs-measured results.
 // The benchmark harness in bench_test.go regenerates every table and figure.
 // docs/ANALYSIS.md documents the repository's own lint suite (topil-lint),
-// which machine-checks the determinism, mutex-hygiene, physical-unit and
-// process-exit conventions the reproduction relies on; `make check` runs it
-// between vet and the tests.
+// which machine-checks the determinism, mutex-hygiene, physical-unit,
+// process-exit and chaos-containment conventions the reproduction relies
+// on; `make check` runs it between vet and the tests. docs/TESTING.md
+// documents the deterministic fault-injection harness (internal/testkit),
+// the paper-invariant property suite, the seed-replay workflow
+// (TOPIL_CHAOS_SEED), fuzzing (`make fuzz`) and the coverage gate.
 package repro

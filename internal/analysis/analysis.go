@@ -12,7 +12,7 @@
 // merges on bespoke lints next to vet and the race detector.
 //
 // The engine is built purely on go/parser and go/types with a source
-// importer; it adds no module dependencies. Four analyzers encode the
+// importer; it adds no module dependencies. Five analyzers encode the
 // repo invariants:
 //
 //   - detrand:   no global math/rand, crypto/rand or wall-clock reads
@@ -27,6 +27,9 @@
 //     internal/platform models (`Freq float64 // Hz`).
 //   - exitcheck: no os.Exit/log.Fatal outside package main, and no panic
 //     in library code unless the enclosing function documents it.
+//   - testkitonly: the fault-injection harness internal/testkit may only
+//     be imported from _test.go files or from testkit itself, so injected
+//     chaos can never reach a production binary.
 //
 // A finding can be suppressed with a directive on its own line immediately
 // above the offending line, or trailing the offending line:
@@ -62,7 +65,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in deterministic order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand(), LockCheck(), UnitCheck(), ExitCheck()}
+	return []*Analyzer{DetRand(), LockCheck(), UnitCheck(), ExitCheck(), TestkitOnly()}
 }
 
 // ByName resolves a rule name against the given suite, or nil.

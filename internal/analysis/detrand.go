@@ -14,7 +14,7 @@ import (
 // explicitly seeded *rand.Rand handed in by the caller.
 var DeterministicPackages = []string{
 	"sim", "nn", "oracle", "rl", "workload", "thermal", "power",
-	"platform", "governor", "features", "core",
+	"platform", "governor", "features", "core", "testkit",
 }
 
 // detrandAllowed are the math/rand selectors that do NOT touch the global

@@ -99,3 +99,5 @@ func TestDetRandGolden(t *testing.T)   { runGolden(t, "detrand", DetRand()) }
 func TestLockCheckGolden(t *testing.T) { runGolden(t, "lockcheck", LockCheck()) }
 func TestUnitCheckGolden(t *testing.T) { runGolden(t, "unitcheck", UnitCheck()) }
 func TestExitCheckGolden(t *testing.T) { runGolden(t, "exitcheck", ExitCheck()) }
+
+func TestTestkitOnlyGolden(t *testing.T) { runGolden(t, "testkitonly", TestkitOnly()) }

@@ -1,0 +1,6 @@
+// Package bench is a fixture production package with no testkit import;
+// the rule stays silent here.
+package bench
+
+// Run does ordinary production work.
+func Run() int { return 42 }

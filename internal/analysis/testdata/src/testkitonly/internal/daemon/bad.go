@@ -1,0 +1,11 @@
+// Package daemon is a fixture production package: importing the
+// fault-injection harness from a non-test file is a finding.
+package daemon
+
+import (
+	"repro/internal/analysis/testdata/src/testkitonly/internal/testkit" // want "fault injection must stay out of production binaries"
+)
+
+// Boot wires chaos into a production code path — exactly what the rule
+// forbids.
+func Boot() *testkit.Chaos { return testkit.NewChaos(1) }

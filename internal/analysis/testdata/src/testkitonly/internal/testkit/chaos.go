@@ -1,0 +1,12 @@
+// Package testkit is a fixture mimicking the fault-injection harness; its
+// import path ends in internal/testkit, so the testkitonly rule exempts it
+// (the harness may of course use itself).
+package testkit
+
+// Chaos is a stand-in for the real fault injector.
+type Chaos struct {
+	Seed int64
+}
+
+// NewChaos mirrors the harness constructor.
+func NewChaos(seed int64) *Chaos { return &Chaos{Seed: seed} }

@@ -10,10 +10,15 @@ import (
 	"repro/internal/npu"
 )
 
-// Errors returned by Batcher.Submit; the HTTP layer maps them to 429/503.
+// Errors returned by Batcher.Submit; the HTTP layer maps them to
+// 429/503/502.
 var (
 	ErrOverloaded = errors.New("serve: queue full")
 	ErrClosed     = errors.New("serve: shutting down")
+	// ErrInference marks a device-side failure: the backend panicked on a
+	// batch or returned no output for a request. It is delivered per
+	// request — one faulty input never poisons the rest of its batch.
+	ErrInference = errors.New("serve: inference failed")
 )
 
 // BatcherConfig tunes the coalescing frontend.
@@ -52,6 +57,7 @@ type batchResp struct {
 	out       []float64
 	device    time.Duration // modelled device latency of the whole batch
 	batchSize int
+	err       error // per-request failure (wraps ErrInference)
 }
 
 // SubmitInfo reports how a request was served.
@@ -97,6 +103,8 @@ type batcherCounters struct {
 	flushTimer   uint64
 	largestBatch int
 	sumBatch     uint64
+	inferErrors  uint64 // requests failed with ErrInference
+	batchPanics  uint64 // batches whose device call panicked
 }
 
 // BatcherStats is a point-in-time snapshot of the coalescing behaviour.
@@ -108,6 +116,8 @@ type BatcherStats struct {
 	FlushTimer   uint64  `json:"flushTimer"`
 	LargestBatch int     `json:"largestBatch"`
 	MeanBatch    float64 `json:"meanBatch"`
+	InferErrors  uint64  `json:"inferErrors"`
+	BatchPanics  uint64  `json:"batchPanics"`
 }
 
 // NewBatcher starts a batcher over the given backend. inputDim guards
@@ -171,6 +181,9 @@ func (b *Batcher) Submit(ctx context.Context, in []float64) ([]float64, SubmitIn
 
 	select {
 	case resp := <-req.out:
+		if resp.err != nil {
+			return nil, SubmitInfo{BatchSize: resp.batchSize}, resp.err
+		}
 		return resp.out, SubmitInfo{BatchSize: resp.batchSize, DeviceLatency: resp.device}, nil
 	case <-ctx.Done():
 		// The collector will still compute and deliver into the buffered
@@ -263,12 +276,50 @@ func (b *Batcher) flush(batch []batchReq, full bool) {
 		for i, r := range batch {
 			ins[i] = r.in
 		}
-		outs := b.backend.Infer(ins)
-		dev := b.backend.Latency(len(batch))
+		outs, err := b.runBatch(ins)
+		var dev time.Duration
+		if err == nil {
+			dev = b.backend.Latency(len(batch))
+		}
+		rowErrs := 0
 		for i, r := range batch {
-			r.out <- batchResp{out: outs[i], device: dev, batchSize: len(batch)}
+			switch {
+			case err != nil:
+				rowErrs++
+				r.out <- batchResp{err: err, batchSize: len(batch)}
+			case i >= len(outs) || outs[i] == nil:
+				rowErrs++
+				r.out <- batchResp{
+					err: fmt.Errorf("%w: device %s returned no output for request %d of a batch of %d",
+						ErrInference, b.backend.Name(), i, len(batch)),
+					batchSize: len(batch),
+				}
+			default:
+				r.out <- batchResp{out: outs[i], device: dev, batchSize: len(batch)}
+			}
+		}
+		if rowErrs > 0 || err != nil {
+			b.mu.Lock()
+			b.stats.inferErrors += uint64(rowErrs)
+			if err != nil {
+				b.stats.batchPanics++
+			}
+			b.mu.Unlock()
 		}
 	}()
+}
+
+// runBatch performs one device invocation, converting a backend panic into
+// an ErrInference-wrapped error so a faulty device call fails the batch's
+// requests instead of killing the server.
+func (b *Batcher) runBatch(ins [][]float64) (outs [][]float64, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: device %s panicked on a batch of %d: %v",
+				ErrInference, b.backend.Name(), len(ins), p)
+		}
+	}()
+	return b.backend.Infer(ins), nil
 }
 
 // Close stops accepting submissions, serves everything already queued and
@@ -297,6 +348,8 @@ func (b *Batcher) Stats() BatcherStats {
 		FlushFull:    b.stats.flushFull,
 		FlushTimer:   b.stats.flushTimer,
 		LargestBatch: b.stats.largestBatch,
+		InferErrors:  b.stats.inferErrors,
+		BatchPanics:  b.stats.batchPanics,
 	}
 	if s.Batches > 0 {
 		s.MeanBatch = float64(b.stats.sumBatch) / float64(s.Batches)

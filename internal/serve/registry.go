@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -13,6 +15,12 @@ import (
 	"repro/internal/nn"
 	"repro/internal/npu"
 )
+
+// ErrNotFound marks a request against a model that does not exist in the
+// artifacts directory; the HTTP layer maps it to 404. A server started
+// over an empty (or absent) models directory is healthy — it lists zero
+// models and answers inference requests with this error, never a panic.
+var ErrNotFound = errors.New("serve: model not found")
 
 // Registry loads named IL models from an artifacts directory and caches
 // them. A model name maps to <dir>/<name>.json, the artifact format written
@@ -56,6 +64,9 @@ func (r *Registry) Model(name string) (*nn.MLP, error) {
 	// writer wins, both copies are identical read-only networks).
 	m, err := core.LoadModel(filepath.Join(r.dir, name+".json"), 0, 0)
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
 		return nil, fmt.Errorf("serve: loading model %q: %w", name, err)
 	}
 	r.mu.Lock()
@@ -69,10 +80,14 @@ func (r *Registry) Model(name string) (*nn.MLP, error) {
 }
 
 // List returns the model names available on disk (without extension),
-// sorted.
+// sorted. A missing artifacts directory is a valid zero-model deployment,
+// not an error.
 func (r *Registry) List() ([]string, error) {
 	entries, err := os.ReadDir(r.dir)
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
 		return nil, fmt.Errorf("serve: listing models: %w", err)
 	}
 	var names []string

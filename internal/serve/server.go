@@ -301,13 +301,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // --- helpers ---
 
 // statusFor maps service errors to HTTP statuses: backpressure to 429,
-// shutdown to 503, everything else (validation) to 400.
+// shutdown to 503, unknown models to 404, device-side inference failures
+// to 502, everything else (validation) to 400.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrInference):
+		return http.StatusBadGateway
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return 499 // client closed request (nginx convention)
 	default:

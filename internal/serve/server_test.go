@@ -114,16 +114,19 @@ func TestServerInfer(t *testing.T) {
 		t.Error("no device latency reported")
 	}
 
-	// Error paths.
-	for _, req := range []InferRequest{
-		{Model: "", Inputs: inputs},
-		{Model: "absent", Inputs: inputs},
-		{Model: "model-1"},
-		{Model: "model-1", Inputs: [][]float64{{1, 2}}}, // wrong dim
+	// Error paths: validation problems are 400, a missing model is 404.
+	for _, c := range []struct {
+		req  InferRequest
+		want int
+	}{
+		{InferRequest{Model: "", Inputs: inputs}, http.StatusBadRequest},
+		{InferRequest{Model: "absent", Inputs: inputs}, http.StatusNotFound},
+		{InferRequest{Model: "model-1"}, http.StatusBadRequest},
+		{InferRequest{Model: "model-1", Inputs: [][]float64{{1, 2}}}, http.StatusBadRequest}, // wrong dim
 	} {
-		resp, _ := postJSON(t, ts.URL+"/v1/infer", req)
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("bad request %+v -> %d, want 400", req, resp.StatusCode)
+		resp, _ := postJSON(t, ts.URL+"/v1/infer", c.req)
+		if resp.StatusCode != c.want {
+			t.Errorf("request %+v -> %d, want %d", c.req, resp.StatusCode, c.want)
 		}
 	}
 	resp, _ = postJSON(t, ts.URL+"/v1/infer", map[string]string{"bogus": "field"})

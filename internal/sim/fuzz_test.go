@@ -33,65 +33,100 @@ func (m *chaosManager) Tick(now float64) {
 	}
 }
 
-func TestEngineInvariantsUnderChaos(t *testing.T) {
-	for seed := int64(0); seed < 5; seed++ {
-		cfg := DefaultConfig(seed%2 == 0, 25)
-		cfg.Seed = seed
-		e := New(cfg)
-		pool := workload.MixedPool()
-		rng := rand.New(rand.NewSource(seed))
-		for i := 0; i < 6; i++ {
-			spec, _ := workload.ByName(pool[rng.Intn(len(pool))])
-			spec.TotalInstr = 1e9 + rng.Float64()*5e9
-			e.AddJob(workload.Job{
-				Spec:    spec,
-				QoS:     rng.Float64() * 2e9,
-				Arrival: rng.Float64() * 5,
-			})
-		}
-		mgr := &chaosManager{rng: rand.New(rand.NewSource(seed + 100))}
+// chaosJobs draws n jobs from the mixed pool with random lengths, QoS
+// targets and arrivals, all from the given seed.
+func chaosJobs(seed int64, n int, instrLo, instrHi float64) []workload.Job {
+	pool := workload.MixedPool()
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]workload.Job, 0, n)
+	for i := 0; i < n; i++ {
+		spec, _ := workload.ByName(pool[rng.Intn(len(pool))])
+		spec.TotalInstr = instrLo + rng.Float64()*(instrHi-instrLo)
+		jobs = append(jobs, workload.Job{
+			Spec:    spec,
+			QoS:     rng.Float64() * 2e9,
+			Arrival: rng.Float64() * 5,
+		})
+	}
+	return jobs
+}
 
-		prevInstr := make(map[string]float64)
-		check := func() bool {
-			// Invariant: temperatures bounded and finite.
-			tmp := e.Env().Temp()
-			if math.IsNaN(tmp) || tmp < 20 || tmp > 150 {
-				t.Fatalf("seed %d: sensor %g out of bounds", seed, tmp)
-			}
-			// Invariant: per-app progress is monotone.
-			for i, a := range e.apps {
-				key := string(rune('a' + i))
-				if a.instrTotal < prevInstr[key]-1e-6 {
-					t.Fatalf("seed %d: app %d instructions went backwards", seed, i)
-				}
-				prevInstr[key] = a.instrTotal
-				if a.done && a.executed < a.job.Spec.TotalInstr-1 {
-					t.Fatalf("seed %d: app %d done with %g of %g instructions",
-						seed, i, a.executed, a.job.Spec.TotalInstr)
-				}
-			}
-			// Invariant: requested VF levels are clamped into range.
-			for ci, c := range cfg.Platform.Clusters {
-				idx := e.Env().ClusterFreqIndex(ci)
-				if idx < 0 || idx >= c.NumOPPs() {
-					t.Fatalf("seed %d: cluster %d at level %d", seed, ci, idx)
-				}
-			}
-			return false
-		}
-		res := e.RunUntil(mgr, 30, check)
+// runChaosInvariants drives one engine under the chaos manager for the
+// given simulated duration, failing the test on any violated invariant.
+// Shared by the deterministic regression test and the fuzz target.
+func runChaosInvariants(t *testing.T, seed int64, fan bool, jobs []workload.Job, duration float64) {
+	t.Helper()
+	cfg := DefaultConfig(fan, 25)
+	cfg.Seed = seed
+	e := New(cfg)
+	for _, j := range jobs {
+		e.AddJob(j)
+	}
+	mgr := &chaosManager{rng: rand.New(rand.NewSource(seed + 100))}
 
-		// Invariant: accounting is consistent.
-		if res.TotalCPUTime() > res.Duration*8+1e-6 {
-			t.Fatalf("seed %d: CPU time %g exceeds capacity", seed, res.TotalCPUTime())
+	prevInstr := make(map[int]float64)
+	check := func() bool {
+		// Invariant: temperatures bounded and finite.
+		tmp := e.Env().Temp()
+		if math.IsNaN(tmp) || tmp < 20 || tmp > 150 {
+			t.Fatalf("seed %d: sensor %g out of bounds", seed, tmp)
 		}
-		if res.TotalEnergyJ() <= 0 {
-			t.Fatalf("seed %d: non-positive energy", seed)
-		}
-		for _, a := range res.Apps {
-			if a.MeanIPS < 0 || math.IsNaN(a.MeanIPS) {
-				t.Fatalf("seed %d: bad mean IPS %g", seed, a.MeanIPS)
+		// Invariant: per-app progress is monotone.
+		for i, a := range e.apps {
+			if a.instrTotal < prevInstr[i]-1e-6 {
+				t.Fatalf("seed %d: app %d instructions went backwards", seed, i)
 			}
+			prevInstr[i] = a.instrTotal
+			if a.done && a.executed < a.job.Spec.TotalInstr-1 {
+				t.Fatalf("seed %d: app %d done with %g of %g instructions",
+					seed, i, a.executed, a.job.Spec.TotalInstr)
+			}
+		}
+		// Invariant: requested VF levels are clamped into range.
+		for ci, c := range cfg.Platform.Clusters {
+			idx := e.Env().ClusterFreqIndex(ci)
+			if idx < 0 || idx >= c.NumOPPs() {
+				t.Fatalf("seed %d: cluster %d at level %d", seed, ci, idx)
+			}
+		}
+		return false
+	}
+	res := e.RunUntil(mgr, duration, check)
+
+	// Invariant: accounting is consistent.
+	if res.TotalCPUTime() > res.Duration*8+1e-6 {
+		t.Fatalf("seed %d: CPU time %g exceeds capacity", seed, res.TotalCPUTime())
+	}
+	if res.TotalEnergyJ() <= 0 {
+		t.Fatalf("seed %d: non-positive energy", seed)
+	}
+	for _, a := range res.Apps {
+		if a.MeanIPS < 0 || math.IsNaN(a.MeanIPS) {
+			t.Fatalf("seed %d: bad mean IPS %g", seed, a.MeanIPS)
 		}
 	}
+}
+
+func TestEngineInvariantsUnderChaos(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		runChaosInvariants(t, seed, seed%2 == 0, chaosJobs(seed, 6, 1e9, 6e9), 30)
+	}
+}
+
+// FuzzEngineChaos is the CI-promoted form of the chaos invariant test: the
+// fuzzer explores (seed, job count, fan mode) combinations, each replayed
+// deterministically through the same invariant closure. `make fuzz` runs it
+// for a short budget; any crasher it files under testdata/fuzz replays as a
+// plain test case forever after.
+func FuzzEngineChaos(f *testing.F) {
+	f.Add(int64(0), uint8(6), true)
+	f.Add(int64(1), uint8(6), false)
+	f.Add(int64(42), uint8(1), true)
+	f.Add(int64(-7), uint8(0), false)
+	f.Fuzz(func(t *testing.T, seed int64, numJobs uint8, fan bool) {
+		n := int(numJobs%8) + 1
+		// Short jobs and a short horizon keep per-execution cost low so the
+		// fuzzer gets real throughput out of its -fuzztime budget.
+		runChaosInvariants(t, seed, fan, chaosJobs(seed, n, 1e8, 1.1e9), 4)
+	})
 }

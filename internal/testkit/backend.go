@@ -1,0 +1,87 @@
+package testkit
+
+import (
+	"time"
+
+	"repro/internal/npu"
+)
+
+// BackendFaults configures the fault classes injected by WrapBackend.
+// Probabilities are fractions in [0,1]; zero disables the class without
+// consuming randomness.
+type BackendFaults struct {
+	// RowErrProb is the per-row probability that an inference result is
+	// replaced by a nil row — the batcher-visible encoding of a transient
+	// per-request device failure (see serve.ErrInference). Fraction [0,1].
+	RowErrProb float64
+	// PanicProb is the per-batch probability that the device call panics
+	// ("driver fault"), exercising the serving layer's recovery path.
+	// Fraction in [0,1].
+	PanicProb float64
+	// SpikeProb is the per-call probability that the modelled device
+	// latency is multiplied by SpikeFactor — a DMA/driver latency spike.
+	// Fraction in [0,1].
+	SpikeProb float64
+	// SpikeFactor scales the latency during a spike (dimensionless,
+	// default 10 when a spike fires with a factor <= 1).
+	SpikeFactor float64
+}
+
+// ChaosBackend wraps an npu.Backend with seeded fault injection. It is
+// safe for concurrent use like every Backend, but deterministic event
+// order requires single-goroutine callers (the simulation engine).
+type ChaosBackend struct {
+	inner  npu.Backend
+	chaos  *Chaos
+	faults BackendFaults
+}
+
+// WrapBackend returns a fault-injecting view of inner, drawing faults
+// from c's RNG stream.
+func (c *Chaos) WrapBackend(inner npu.Backend, f BackendFaults) *ChaosBackend {
+	if f.SpikeFactor <= 1 {
+		f.SpikeFactor = 10
+	}
+	return &ChaosBackend{inner: inner, chaos: c, faults: f}
+}
+
+// Name implements npu.Backend.
+func (b *ChaosBackend) Name() string { return "chaos/" + b.inner.Name() }
+
+// Infer implements npu.Backend. Injected per-row failures surface as nil
+// output rows (the contract the serving batcher maps to per-request
+// errors); injected device faults surface as panics after the fault is
+// logged, so even a crashing replay reproduces its event log. Panics here
+// are the injected fault itself, not an API misuse.
+func (b *ChaosBackend) Infer(batch [][]float64) [][]float64 {
+	outs := b.inner.Infer(batch)
+	c := b.chaos
+	c.mu.Lock()
+	if c.roll(b.faults.PanicProb) {
+		c.record("backend", "panic", "batch=%d", len(batch))
+		c.mu.Unlock()
+		panic("testkit: injected device fault")
+	}
+	for i := range outs {
+		if c.roll(b.faults.RowErrProb) {
+			c.record("backend", "infer-error", "row=%d of %d", i, len(batch))
+			outs[i] = nil
+		}
+	}
+	c.mu.Unlock()
+	return outs
+}
+
+// Latency implements npu.Backend, occasionally injecting a spike.
+func (b *ChaosBackend) Latency(batchSize int) time.Duration {
+	base := b.inner.Latency(batchSize)
+	c := b.chaos
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.roll(b.faults.SpikeProb) {
+		spiked := time.Duration(float64(base) * b.faults.SpikeFactor)
+		c.record("backend", "latency-spike", "batch=%d %v->%v", batchSize, base, spiked)
+		return spiked
+	}
+	return base
+}

@@ -1,0 +1,150 @@
+package testkit_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/npu"
+	"repro/internal/sim"
+	"repro/internal/testkit"
+)
+
+func TestInvariantSuiteShape(t *testing.T) {
+	checks := testkit.InvariantChecks()
+	if len(checks) < 8 {
+		t.Fatalf("suite has %d checks, the paper-invariant contract requires >= 8", len(checks))
+	}
+	seen := map[string]bool{}
+	for _, c := range checks {
+		if c.Name == "" || c.Doc == "" {
+			t.Errorf("check %+v lacks name or doc", c)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate check name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Tick == nil && c.Final == nil {
+			t.Errorf("check %q has neither Tick nor Final", c.Name)
+		}
+	}
+}
+
+// TestRunCheckedGTS runs the full invariant suite over an ordinary GTS run.
+func TestRunCheckedGTS(t *testing.T) {
+	_, err := testkit.RunChecked(testkit.CheckedRun{
+		Cfg:      sim.DefaultConfig(false, 25),
+		Jobs:     testJobs(2, 8),
+		Manager:  governor.NewGTS(governor.Ondemand{UpThreshold: 0.8}),
+		Duration: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCheckedUnderChaos asserts the engine's invariants hold even under
+// injected faults: the chaos layer may corrupt decisions, never physics.
+func TestRunCheckedUnderChaos(t *testing.T) {
+	seed := testkit.SeedFromEnv(11)
+	t.Logf("chaos seed %d (export %s to replay)", seed, testkit.SeedEnv)
+	ch := testkit.NewChaos(seed)
+	cfg := ch.PerturbConfig(sim.DefaultConfig(false, 25), testkit.ConfigFaults{NoiseProb: 1})
+	jobs := ch.PerturbJobs(testJobs(2, 10), testkit.StreamFaults{
+		DropProb: 0.1, DupProb: 0.2, JitterSec: 0.2,
+	})
+	backend := ch.WrapBackend(npu.New(testModel(3)), testkit.BackendFaults{SpikeProb: 0.2})
+	mgr := ch.WrapManager(core.New(backend, core.DefaultConfig()), testkit.ManagerFaults{
+		ClampProb: 0.1, OverheadSpikeProb: 0.1,
+	})
+	res, err := testkit.RunChecked(testkit.CheckedRun{
+		Cfg: cfg, Jobs: jobs, Manager: mgr, Duration: 5,
+	})
+	if err != nil {
+		t.Fatalf("invariant broken under chaos (seed %d): %v", seed, err)
+	}
+	if res.Duration <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+func TestRunCheckedReportsTickViolation(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := testkit.RunChecked(testkit.CheckedRun{
+		Cfg:      sim.DefaultConfig(false, 25),
+		Jobs:     testJobs(2, 4),
+		Manager:  governor.NewGTS(governor.Powersave{}),
+		Duration: 2,
+		Checks: []testkit.Check{{
+			Name: "always-fails",
+			Doc:  "fails on the first tick to exercise error plumbing",
+			Tick: func(*testkit.CheckContext) error { return boom },
+		}},
+	})
+	if err == nil || !errors.Is(err, boom) || !strings.Contains(err.Error(), "always-fails") {
+		t.Fatalf("tick violation not reported: %v", err)
+	}
+}
+
+func TestRunCheckedReportsFinalViolation(t *testing.T) {
+	_, err := testkit.RunChecked(testkit.CheckedRun{
+		Cfg:      sim.DefaultConfig(false, 25),
+		Jobs:     testJobs(2, 4),
+		Manager:  governor.NewGTS(governor.Powersave{}),
+		Duration: 2,
+		Checks: []testkit.Check{{
+			Name: "final-fails",
+			Doc:  "fails in the final pass to exercise error plumbing",
+			Final: func(c *testkit.CheckContext) error {
+				if c.Result == nil {
+					return errors.New("final check ran without a result")
+				}
+				return errors.New("deliberate final failure")
+			},
+		}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "final-fails") {
+		t.Fatalf("final violation not reported: %v", err)
+	}
+}
+
+// TestEnergyAdditivity pins the paper invariant that energy is additive
+// across chunked runs: simulating T seconds in one RunUntil call or in
+// three chunks must integrate to bit-identical totals (same tick sequence,
+// same accumulation order).
+func TestEnergyAdditivity(t *testing.T) {
+	build := func() *sim.Engine {
+		cfg := sim.DefaultConfig(false, 25)
+		cfg.Seed = 21
+		e := sim.New(cfg)
+		e.AddJobs(testJobs(6, 8))
+		return e
+	}
+	whole := build().Run(nil, 6)
+
+	eng := build()
+	eng.Run(nil, 2)
+	eng.Run(nil, 2)
+	chunked := eng.Run(nil, 2)
+
+	if whole.TotalEnergyJ() <= 0 {
+		t.Fatalf("non-positive total energy %g J", whole.TotalEnergyJ())
+	}
+	if whole.TotalEnergyJ() != chunked.TotalEnergyJ() {
+		t.Errorf("energy not additive across chunks: %.12g J vs %.12g J",
+			whole.TotalEnergyJ(), chunked.TotalEnergyJ())
+	}
+	if whole.UncoreEnergyJ != chunked.UncoreEnergyJ {
+		t.Errorf("uncore energy differs: %.12g J vs %.12g J",
+			whole.UncoreEnergyJ, chunked.UncoreEnergyJ)
+	}
+	if whole.AvgTemp != chunked.AvgTemp || whole.PeakTemp != chunked.PeakTemp {
+		t.Errorf("temperatures differ across chunking: avg %g/%g peak %g/%g",
+			whole.AvgTemp, chunked.AvgTemp, whole.PeakTemp, chunked.PeakTemp)
+	}
+	if whole.Duration != chunked.Duration {
+		t.Errorf("durations differ: %g vs %g", whole.Duration, chunked.Duration)
+	}
+}

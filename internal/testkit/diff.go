@@ -1,0 +1,168 @@
+package testkit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// FP16Tol is the relative tolerance implied by an fp16 mantissa
+// (2^-10): the bound used when diffing traces of a quantized model
+// against its fp32 original (dimensionless).
+const FP16Tol = 1.0 / 1024
+
+// Scenario is one named, fully-seeded simulation setup for differential
+// runs. NewManager must build a fresh manager per invocation — managers
+// are stateful, and a differential run executes the scenario repeatedly.
+type Scenario struct {
+	Name       string
+	Cfg        sim.Config
+	Jobs       []workload.Job
+	NewManager func() sim.Manager // nil = unmanaged run
+	Duration   float64            // seconds (default 10)
+	// SamplePeriod is the trace sampling period in seconds (default 0.25).
+	SamplePeriod float64
+}
+
+// TraceScenario executes the scenario once and renders its sampled time
+// series plus final result into the canonical trace string. Two runs of
+// an identical scenario in the same binary must produce byte-identical
+// traces — that is the determinism contract the differential tests pin.
+// The scenario's thermal network is reset to ambient first, so a Scenario
+// value can be traced repeatedly; it must not be traced concurrently with
+// itself (the network pointer is shared state).
+func TraceScenario(s Scenario) string {
+	if s.Duration <= 0 {
+		s.Duration = 10
+	}
+	if s.SamplePeriod <= 0 {
+		s.SamplePeriod = 0.25
+	}
+	s.Cfg.Thermal.Reset()
+	eng := sim.New(s.Cfg)
+	eng.AddJobs(s.Jobs)
+	rec := sim.NewRecorder(eng.Env(), s.SamplePeriod)
+	var m sim.Manager
+	if s.NewManager != nil {
+		m = s.NewManager()
+	}
+	res := eng.RunUntil(m, s.Duration, rec.Hook())
+	return FormatTrace(rec.Samples, res)
+}
+
+// FormatTrace renders recorder samples and a final result as one
+// newline-terminated string of space-separated key=value tokens, the
+// format DiffTraces understands.
+func FormatTrace(samples []sim.Sample, res *sim.Result) string {
+	var b strings.Builder
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	for _, s := range samples {
+		fmt.Fprintf(&b, "t=%.3f temp=%s busy=%d ov=%s freq=", s.Time, g(s.Temp), s.Busy, g(s.Overhead))
+		for i, idx := range s.FreqIdx {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(idx))
+		}
+		for _, a := range s.Apps {
+			fmt.Fprintf(&b, " %s@%d ips=%s", a.Name, a.Core, g(a.IPS))
+		}
+		b.WriteByte('\n')
+	}
+	if res != nil {
+		fmt.Fprintf(&b, "result avgT=%s peakT=%s energy=%s viol=%d migr=%d throttle=%s overhead=%s\n",
+			g(res.AvgTemp), g(res.PeakTemp), g(res.TotalEnergyJ()),
+			res.Violations, res.Migrations, g(res.ThrottleSeconds), g(res.OverheadSeconds))
+	}
+	return b.String()
+}
+
+// DiffTraces compares two traces token by token. With tol == 0 the traces
+// must be byte-identical. With tol > 0, key=value tokens whose values both
+// parse as floats may differ by a relative tolerance of tol (relative to
+// max(1, |a|, |b|)); all other tokens must still match exactly, so
+// structural divergence (mappings, VF levels, counts) is never excused by
+// a numeric tolerance. The returned error pinpoints the first divergence.
+func DiffTraces(a, b string, tol float64) error {
+	if tol <= 0 {
+		if a != b {
+			la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+			for i := 0; i < len(la) || i < len(lb); i++ {
+				va, vb := lineAt(la, i), lineAt(lb, i)
+				if va != vb {
+					return fmt.Errorf("trace line %d differs:\n  a: %s\n  b: %s", i+1, va, vb)
+				}
+			}
+			return fmt.Errorf("traces differ (same lines, different bytes)")
+		}
+		return nil
+	}
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	if len(la) != len(lb) {
+		return fmt.Errorf("trace lengths differ: %d vs %d lines", len(la), len(lb))
+	}
+	for i := range la {
+		fa, fb := strings.Fields(la[i]), strings.Fields(lb[i])
+		if len(fa) != len(fb) {
+			return fmt.Errorf("trace line %d: %d vs %d tokens:\n  a: %s\n  b: %s",
+				i+1, len(fa), len(fb), la[i], lb[i])
+		}
+		for k := range fa {
+			if fa[k] == fb[k] {
+				continue
+			}
+			if !tokensClose(fa[k], fb[k], tol) {
+				return fmt.Errorf("trace line %d token %d: %q vs %q exceeds tol %g",
+					i+1, k+1, fa[k], fb[k], tol)
+			}
+		}
+	}
+	return nil
+}
+
+// lineAt returns lines[i] or a placeholder past the end.
+func lineAt(lines []string, i int) string {
+	if i < len(lines) {
+		return lines[i]
+	}
+	return "<missing>"
+}
+
+// tokensClose reports whether two key=value tokens agree up to a relative
+// tolerance on float values. Non-float values never agree here (the exact
+// comparison already failed).
+func tokensClose(a, b string, tol float64) bool {
+	ka, va, oka := strings.Cut(a, "=")
+	kb, vb, okb := strings.Cut(b, "=")
+	if !oka || !okb || ka != kb {
+		return false
+	}
+	x, errA := strconv.ParseFloat(va, 64)
+	y, errB := strconv.ParseFloat(vb, 64)
+	if errA != nil || errB != nil {
+		return false
+	}
+	d := x - y
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if ax := abs(x); ax > scale {
+		scale = ax
+	}
+	if ay := abs(y); ay > scale {
+		scale = ay
+	}
+	return d <= tol*scale
+}
+
+// abs avoids importing math for one call site.
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

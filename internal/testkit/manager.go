@@ -1,0 +1,126 @@
+package testkit
+
+import (
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ManagerFaults configures the faults injected around a wrapped
+// sim.Manager's Tick. Probabilities are fractions in [0,1].
+type ManagerFaults struct {
+	// ClampProb is the per-cluster, per-tick probability that the VF
+	// level requested by the inner manager is clamped one step down — a
+	// DVFS transition that did not complete (busy PMIC, vendor cap).
+	// Fraction in [0,1].
+	ClampProb float64
+	// OverheadSpikeProb is the per-tick probability of charging an
+	// unexpected management-overhead spike of OverheadSpikeSec to core 0
+	// (a daemon hiccup: page fault, scheduler preemption). Fraction [0,1].
+	OverheadSpikeProb float64
+	// OverheadSpikeSec is the duration of one injected overhead spike in
+	// seconds (default 0.005).
+	OverheadSpikeSec float64
+}
+
+// ChaosManager wraps a sim.Manager, passing every call through and
+// injecting ManagerFaults after each Tick. Use WrapManager, which
+// preserves the inner manager's optional sim.Placer implementation.
+type ChaosManager struct {
+	inner  sim.Manager
+	chaos  *Chaos
+	faults ManagerFaults
+	env    *sim.Env
+}
+
+// WrapManager returns a fault-injecting view of inner. The returned
+// manager implements sim.Placer exactly when inner does, so engine
+// placement behaviour is unchanged.
+func (c *Chaos) WrapManager(inner sim.Manager, f ManagerFaults) sim.Manager {
+	if f.OverheadSpikeSec <= 0 {
+		f.OverheadSpikeSec = 0.005
+	}
+	m := &ChaosManager{inner: inner, chaos: c, faults: f}
+	if p, ok := inner.(sim.Placer); ok {
+		return &chaosPlacer{ChaosManager: m, placer: p}
+	}
+	return m
+}
+
+// Name implements sim.Manager.
+func (m *ChaosManager) Name() string { return "chaos/" + m.inner.Name() }
+
+// Attach implements sim.Manager.
+func (m *ChaosManager) Attach(env *sim.Env) {
+	m.env = env
+	m.inner.Attach(env)
+}
+
+// Tick implements sim.Manager: run the inner policy, then corrupt its
+// actuation per ManagerFaults.
+func (m *ChaosManager) Tick(now float64) {
+	m.inner.Tick(now)
+	c := m.chaos
+	plat := m.env.Platform()
+	c.mu.Lock()
+	for ci := 0; ci < plat.NumClusters(); ci++ {
+		if !c.roll(m.faults.ClampProb) {
+			continue
+		}
+		idx := m.env.ClusterFreqIndex(ci)
+		if idx == 0 {
+			continue
+		}
+		c.record("manager", "dvfs-clamp", "t=%.2f cluster=%d level %d->%d", now, ci, idx, idx-1)
+		m.env.SetClusterFreqIndex(ci, idx-1)
+	}
+	spike := c.roll(m.faults.OverheadSpikeProb)
+	if spike {
+		c.record("manager", "overhead-spike", "t=%.2f +%.3fs", now, m.faults.OverheadSpikeSec)
+	}
+	c.mu.Unlock()
+	if spike {
+		m.env.ChargeOverhead(m.faults.OverheadSpikeSec)
+	}
+}
+
+// chaosPlacer adds the sim.Placer passthrough for inner managers that
+// place their own arrivals.
+type chaosPlacer struct {
+	*ChaosManager
+	placer sim.Placer
+}
+
+// Place implements sim.Placer by delegating to the inner manager.
+func (m *chaosPlacer) Place(job workload.Job) platform.CoreID {
+	return m.placer.Place(job)
+}
+
+// ConfigFaults configures simulation-config perturbation. Probabilities
+// are fractions in [0,1].
+type ConfigFaults struct {
+	// NoiseProb is the probability that the run executes with a noisy
+	// temperature sensor. Fraction in [0,1].
+	NoiseProb float64
+	// NoiseStdDevC is the injected sensor noise's standard deviation in
+	// °C (default 1.5). The engine applies it from its own seeded RNG at
+	// the 20 Hz sensor cadence, so bursts of consecutive bad samples
+	// occur naturally and deterministically.
+	NoiseStdDevC float64
+}
+
+// PerturbConfig returns cfg with chaos applied: with NoiseProb the sensor
+// noise is switched on (a noise burst regime for the whole run). The
+// decision is drawn from the chaos RNG and logged.
+func (c *Chaos) PerturbConfig(cfg sim.Config, f ConfigFaults) sim.Config {
+	if f.NoiseStdDevC <= 0 {
+		f.NoiseStdDevC = 1.5
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.roll(f.NoiseProb) {
+		cfg.SensorNoise = f.NoiseStdDevC
+		c.record("config", "sensor-noise", "stddev=%.2f", f.NoiseStdDevC)
+	}
+	return cfg
+}

@@ -1,0 +1,108 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// CheckedRun describes one simulation to execute under invariant checks.
+type CheckedRun struct {
+	Cfg      sim.Config
+	Jobs     []workload.Job
+	Manager  sim.Manager
+	Duration float64 // seconds (default 10)
+	// EveryTicks is the per-tick check cadence; default one manager
+	// period (ManagerPeriod/Dt ticks).
+	EveryTicks int
+	// Checks to enforce; nil means InvariantChecks().
+	Checks []Check
+}
+
+// RunChecked executes the simulation while enforcing the invariant suite:
+// Tick checks run every EveryTicks simulation ticks (the run stops at the
+// first violation), Final checks run on the Result. The Result is returned
+// even when a check fails, so callers can include it in failure output.
+func RunChecked(run CheckedRun) (*sim.Result, error) {
+	if run.Duration <= 0 {
+		run.Duration = 10
+	}
+	if run.EveryTicks <= 0 {
+		run.EveryTicks = int(math.Round(run.Cfg.ManagerPeriod / run.Cfg.Dt))
+		if run.EveryTicks < 1 {
+			run.EveryTicks = 1
+		}
+	}
+	checks := run.Checks
+	if checks == nil {
+		checks = InvariantChecks()
+	}
+
+	eng := sim.New(run.Cfg)
+	eng.AddJobs(run.Jobs)
+	ctx := &CheckContext{Cfg: run.Cfg, Env: eng.Env()}
+
+	var checkErr error
+	ticks := 0
+	res := eng.RunUntil(run.Manager, run.Duration, func() bool {
+		ticks++
+		if ticks%run.EveryTicks != 0 {
+			return false
+		}
+		for i := range checks {
+			if checks[i].Tick == nil {
+				continue
+			}
+			if err := checks[i].Tick(ctx); err != nil {
+				checkErr = fmt.Errorf("invariant %q at t=%.3f s: %w",
+					checks[i].Name, ctx.Env.Now(), err)
+				return true
+			}
+		}
+		return false
+	})
+	if checkErr != nil {
+		return res, checkErr
+	}
+	ctx.Result = res
+	for i := range checks {
+		if checks[i].Final == nil {
+			continue
+		}
+		if err := checks[i].Final(ctx); err != nil {
+			return res, fmt.Errorf("invariant %q (final): %w", checks[i].Name, err)
+		}
+	}
+	return res, nil
+}
+
+// MapOrdered runs fn over every input on `workers` goroutines and returns
+// the results in input order — the deterministic-reduction shape the
+// differential -j1/-jN tests rely on: whatever the scheduling, the reduced
+// output must be identical.
+func MapOrdered[T, R any](workers int, inputs []T, fn func(i int, in T) R) []R {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]R, len(inputs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = fn(i, inputs[i])
+			}
+		}()
+	}
+	for i := range inputs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

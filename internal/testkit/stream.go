@@ -1,0 +1,61 @@
+package testkit
+
+import (
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// StreamFaults configures arrival-stream perturbation: the open-system
+// job trace is corrupted the way a flaky submission path would — jobs
+// vanish, arrive twice, or arrive off-schedule. Probabilities are
+// fractions in [0,1].
+type StreamFaults struct {
+	// DropProb is the per-job probability of silently losing the job.
+	// Fraction in [0,1].
+	DropProb float64
+	// DupProb is the per-job probability of a duplicated submission; the
+	// duplicate arrives DupDelaySec after the original. Fraction in [0,1].
+	DupProb float64
+	// DupDelaySec offsets duplicated arrivals (seconds, default 0.25).
+	DupDelaySec float64
+	// JitterSec perturbs every surviving arrival uniformly within
+	// ±JitterSec (seconds, clamped at zero).
+	JitterSec float64
+}
+
+// PerturbJobs returns a corrupted copy of jobs: drops, duplications and
+// arrival jitter drawn from the chaos RNG, with every fault logged. The
+// result is re-sorted by arrival time (the engine's AddJobs contract) and
+// the input slice is never modified.
+func (c *Chaos) PerturbJobs(jobs []workload.Job, f StreamFaults) []workload.Job {
+	if f.DupDelaySec <= 0 {
+		f.DupDelaySec = 0.25
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]workload.Job, 0, len(jobs))
+	for i, j := range jobs {
+		if c.roll(f.DropProb) {
+			c.record("stream", "drop", "job=%d %s t=%.3f", i, j.Spec.Name, j.Arrival)
+			continue
+		}
+		if f.JitterSec > 0 {
+			d := (c.rng.Float64()*2 - 1) * f.JitterSec
+			j.Arrival += d
+			if j.Arrival < 0 {
+				j.Arrival = 0
+			}
+			c.record("stream", "jitter", "job=%d %s %+0.3fs -> t=%.3f", i, j.Spec.Name, d, j.Arrival)
+		}
+		out = append(out, j)
+		if c.roll(f.DupProb) {
+			dup := j
+			dup.Arrival += f.DupDelaySec
+			c.record("stream", "dup", "job=%d %s t=%.3f", i, dup.Spec.Name, dup.Arrival)
+			out = append(out, dup)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Arrival < out[b].Arrival })
+	return out
+}

@@ -1,0 +1,218 @@
+package testkit_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/npu"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/testkit"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// chaosDefaultSeed pins the golden event log; override at replay time with
+// TOPIL_CHAOS_SEED (the golden comparison is skipped for non-default seeds).
+const chaosDefaultSeed = 42
+
+// testJobs builds a short deterministic open-system workload.
+func testJobs(seed int64, n int) []workload.Job {
+	cfg := sim.DefaultConfig(false, 25)
+	pm := perf.Default()
+	gen := workload.NewGenerator(seed, workload.MixedPool(), func(s workload.AppSpec) float64 {
+		return pm.PeakIPS(cfg.Platform, s)
+	}, 0.2, 0.6, 0.01)
+	return gen.Generate(n, 2)
+}
+
+// testModel builds a small deterministic migration model for the HiKey970.
+func testModel(seed int64) *nn.MLP {
+	cfg := sim.DefaultConfig(false, 25)
+	dim := features.Dim(cfg.Platform.NumCores(), cfg.Platform.NumClusters())
+	return nn.NewMLP([]int{dim, 16, cfg.Platform.NumCores()}, seed)
+}
+
+// chaosEventLog runs the canonical chaos scenario — TOP-IL on a wrapped NPU
+// backend under stream, manager and config faults — and returns the event
+// log. The whole simulation stack sits between the seed and the log, so
+// byte equality across invocations is a strong determinism statement.
+func chaosEventLog(seed int64) string {
+	ch := testkit.NewChaos(seed)
+	cfg := ch.PerturbConfig(sim.DefaultConfig(false, 25), testkit.ConfigFaults{NoiseProb: 0.5})
+	jobs := ch.PerturbJobs(testJobs(1, 10), testkit.StreamFaults{
+		DropProb: 0.15, DupProb: 0.15, JitterSec: 0.3,
+	})
+	backend := ch.WrapBackend(npu.New(testModel(7)), testkit.BackendFaults{SpikeProb: 0.3})
+	mgr := ch.WrapManager(core.New(backend, core.DefaultConfig()), testkit.ManagerFaults{
+		ClampProb: 0.05, OverheadSpikeProb: 0.1,
+	})
+	eng := sim.New(cfg)
+	eng.AddJobs(jobs)
+	eng.Run(mgr, 5)
+	return ch.EventLog()
+}
+
+func TestChaosGoldenReplay(t *testing.T) {
+	seed := testkit.SeedFromEnv(chaosDefaultSeed)
+	t.Logf("chaos seed %d (export %s to replay a failure)", seed, testkit.SeedEnv)
+
+	a, b := chaosEventLog(seed), chaosEventLog(seed)
+	if a != b {
+		t.Fatalf("same seed, different event logs:\n--- run 1\n%s--- run 2\n%s", a, b)
+	}
+	if !strings.HasPrefix(a, "chaos seed=") || strings.Count(a, "\n") < 2 {
+		t.Fatalf("chaos scenario injected no faults:\n%s", a)
+	}
+
+	if seed != chaosDefaultSeed {
+		t.Skipf("non-default seed %d: skipping golden comparison", seed)
+	}
+	golden := filepath.Join("testdata", "chaos_seed42.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(a), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run GoldenReplay -update ./internal/testkit`): %v", err)
+	}
+	if string(want) != a {
+		t.Errorf("event log deviates from golden file %s:\n--- got\n%s--- want\n%s", golden, a, want)
+	}
+}
+
+func TestChaosReplayAcrossWorkers(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 13}
+	run := func(workers int) []string {
+		return testkit.MapOrdered(workers, seeds, func(_ int, s int64) string {
+			return chaosEventLog(s)
+		})
+	}
+	j1, j8 := run(1), run(8)
+	for i := range seeds {
+		if j1[i] != j8[i] {
+			t.Errorf("seed %d: -j1 and -j8 event logs differ:\n--- j1\n%s--- j8\n%s",
+				seeds[i], j1[i], j8[i])
+		}
+	}
+}
+
+func TestSeedFromEnv(t *testing.T) {
+	t.Setenv(testkit.SeedEnv, "1234")
+	if got := testkit.SeedFromEnv(7); got != 1234 {
+		t.Errorf("SeedFromEnv = %d, want 1234", got)
+	}
+	t.Setenv(testkit.SeedEnv, "not-a-number")
+	if got := testkit.SeedFromEnv(7); got != 7 {
+		t.Errorf("SeedFromEnv with garbage = %d, want default 7", got)
+	}
+	t.Setenv(testkit.SeedEnv, "")
+	if got := testkit.SeedFromEnv(7); got != 7 {
+		t.Errorf("SeedFromEnv unset = %d, want default 7", got)
+	}
+}
+
+func TestPerturbJobsContract(t *testing.T) {
+	jobs := testJobs(3, 20)
+	orig := append([]workload.Job(nil), jobs...)
+
+	ch := testkit.NewChaos(9)
+	out := ch.PerturbJobs(jobs, testkit.StreamFaults{DropProb: 0.3, DupProb: 0.3, JitterSec: 0.5})
+
+	for i := range jobs {
+		if jobs[i].Arrival != orig[i].Arrival || jobs[i].QoS != orig[i].QoS ||
+			jobs[i].Spec.Name != orig[i].Spec.Name {
+			t.Fatalf("PerturbJobs modified its input at %d", i)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Arrival < out[i-1].Arrival {
+			t.Fatalf("output not sorted: arrival %g after %g", out[i].Arrival, out[i-1].Arrival)
+		}
+	}
+	for _, j := range out {
+		if j.Arrival < 0 {
+			t.Fatalf("negative arrival %g", j.Arrival)
+		}
+	}
+	drops, dups := ch.EventCount("drop"), ch.EventCount("dup")
+	if len(out) != len(jobs)-drops+dups {
+		t.Errorf("len(out)=%d, want %d - %d drops + %d dups", len(out), len(jobs), drops, dups)
+	}
+	if drops == 0 && dups == 0 {
+		t.Error("expected some drops/dups at p=0.3 over 20 jobs")
+	}
+}
+
+func TestPerturbJobsNoFaultsIsIdentity(t *testing.T) {
+	jobs := testJobs(4, 10)
+	ch := testkit.NewChaos(1)
+	out := ch.PerturbJobs(jobs, testkit.StreamFaults{})
+	if len(out) != len(jobs) {
+		t.Fatalf("len=%d, want %d", len(out), len(jobs))
+	}
+	for i := range jobs {
+		if out[i].Arrival != jobs[i].Arrival || out[i].Spec.Name != jobs[i].Spec.Name {
+			t.Fatalf("job %d changed with all faults disabled", i)
+		}
+	}
+	if n := ch.EventCount(""); n != 0 {
+		t.Errorf("%d events injected with all faults disabled", n)
+	}
+}
+
+// TestDisabledFaultsDontShiftStream pins the roll() contract: a disabled
+// fault class draws no randomness, so enabling it at probability zero must
+// not change which faults the enabled classes inject.
+func TestDisabledFaultsDontShiftStream(t *testing.T) {
+	jobs := testJobs(5, 20)
+	run := func(f testkit.StreamFaults) string {
+		ch := testkit.NewChaos(77)
+		ch.PerturbJobs(jobs, f)
+		return ch.EventLog()
+	}
+	only := run(testkit.StreamFaults{DropProb: 0.4})
+	mixed := run(testkit.StreamFaults{DropProb: 0.4, DupProb: 0, JitterSec: 0})
+	if only != mixed {
+		t.Errorf("zero-probability classes shifted the RNG stream:\n--- drop only\n%s--- with zeros\n%s",
+			only, mixed)
+	}
+}
+
+func TestEventLogFormat(t *testing.T) {
+	ch := testkit.NewChaos(5)
+	if got := ch.EventLog(); got != "chaos seed=5 events=0\n" {
+		t.Errorf("empty log = %q", got)
+	}
+	ev := testkit.Event{Seq: 3, Source: "backend", Kind: "panic", Detail: "batch=4"}
+	if got, want := ev.String(), "0003 backend/panic batch=4"; got != want {
+		t.Errorf("Event.String() = %q, want %q", got, want)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	in := make([]int, 100)
+	for i := range in {
+		in[i] = i
+	}
+	for _, workers := range []int{0, 1, 4, 16} {
+		out := testkit.MapOrdered(workers, in, func(i, v int) int { return v * v })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	if got := testkit.MapOrdered(4, nil, func(i, v int) int { return v }); len(got) != 0 {
+		t.Errorf("empty input produced %d results", len(got))
+	}
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJobEntries fuzzes the arrival-manifest parsing path shared by saved
+// workload files and HTTP sim requests: arbitrary JSON must either be
+// rejected with an error or resolve into a job list that is internally
+// consistent and survives a serialize/parse round trip. Parsing must never
+// panic — manifests cross a trust boundary at the serve layer.
+func FuzzJobEntries(f *testing.F) {
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"name":"adi","totalInstr":4e9,"qos":2e8,"arrival":0}]`))
+	f.Add([]byte(`[{"name":"canneal","totalInstr":1e9,"qos":0,"arrival":1.5},
+		{"name":"syr2k","totalInstr":2e9,"qos":9e8,"arrival":0.25}]`))
+	f.Add([]byte(`[{"name":"ghost","totalInstr":1e9}]`))      // unknown benchmark
+	f.Add([]byte(`[{"name":"adi","totalInstr":-1}]`))         // bad instruction count
+	f.Add([]byte(`[{"name":"adi","totalInstr":1,"qos":-3}]`)) // negative QoS
+	f.Add([]byte(`[{"name":"adi","totalInstr":1e999}]`))      // float overflow
+	f.Add([]byte(`{"name":"adi"}`))                           // not a list
+	f.Add([]byte(`[{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var entries []JobEntry
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return // malformed JSON: rejected upstream, nothing to check
+		}
+		jobs, err := EntriesToJobs(entries)
+		if err != nil {
+			return // invalid manifest: rejected with an error, not a panic
+		}
+		if len(jobs) != len(entries) {
+			t.Fatalf("%d entries resolved to %d jobs", len(entries), len(jobs))
+		}
+		for i, j := range jobs {
+			if err := j.Spec.Validate(); err != nil {
+				t.Fatalf("job %d: accepted spec fails validation: %v", i, err)
+			}
+			if j.QoS < 0 || j.Arrival < 0 {
+				t.Fatalf("job %d: accepted with QoS %g, arrival %g", i, j.QoS, j.Arrival)
+			}
+		}
+		// Round trip: re-serializing the accepted jobs reproduces the
+		// entries exactly, and the result parses again.
+		back := JobsToEntries(jobs)
+		for i := range back {
+			if back[i] != entries[i] {
+				t.Fatalf("entry %d: round trip %+v != %+v", i, back[i], entries[i])
+			}
+		}
+		if _, err := EntriesToJobs(back); err != nil {
+			t.Fatalf("round-tripped manifest rejected: %v", err)
+		}
+	})
+}

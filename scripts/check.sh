@@ -59,6 +59,8 @@ go test -race ./internal/serve/... ./internal/npu/... ./internal/nn/... \
     ./internal/workload/... ./internal/sim/...
 echo "== go test -race -short (experiments)"
 go test -race -short ./internal/experiments/...
+echo "== coverage gate"
+./scripts/coverage_gate.sh
 echo "== topil-experiments -j 8 smoke (parallel executor)"
 go run ./cmd/topil-experiments -quick -fig fig1 -j 8 >/dev/null
 echo "all checks passed"

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Coverage gate: per-package statement coverage must not drop below the
+# floors recorded in scripts/coverage_baseline.txt. Part of `make check`;
+# see docs/TESTING.md. Raise a floor when coverage improves — the gate only
+# defends against regressions.
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline=scripts/coverage_baseline.txt
+status=0
+
+while read -r pkg min; do
+    case "$pkg" in ''|'#'*) continue ;; esac
+    out=$(go test -count=1 -cover "$pkg") || { echo "coverage gate: tests failed in $pkg"; exit 1; }
+    got=$(printf '%s\n' "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p' | head -n 1)
+    if [ -z "$got" ]; then
+        echo "coverage gate: no coverage reported for $pkg"
+        status=1
+        continue
+    fi
+    if awk -v g="$got" -v m="$min" 'BEGIN { exit !(g + 0 < m + 0) }'; then
+        echo "coverage gate: FAIL $pkg at ${got}%, floor is ${min}%"
+        status=1
+    else
+        echo "coverage gate: ok   $pkg ${got}% (floor ${min}%)"
+    fi
+done < "$baseline"
+
+exit $status
