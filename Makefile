@@ -14,8 +14,9 @@ vet:
 	$(GO) vet ./...
 
 # topil-lint enforces the repo's own invariants: determinism (detrand),
-# mutex hygiene (lockcheck), unit annotations (unitcheck) and process-exit
-# discipline (exitcheck). See docs/ANALYSIS.md.
+# mutex hygiene (lockcheck), unit annotations (unitcheck), process-exit
+# discipline (exitcheck), chaos containment (testkitonly) and
+# observability discipline (telemetrycheck). See docs/ANALYSIS.md.
 lint:
 	$(GO) run ./cmd/topil-lint ./...
 
@@ -29,11 +30,11 @@ test:
 # oracle+training pipeline; its artifact and concurrency tests still run.
 race:
 	$(GO) test -race ./internal/serve/... ./internal/npu/... ./internal/nn/... \
-		./internal/workload/... ./internal/sim/...
+		./internal/workload/... ./internal/sim/... ./internal/telemetry/...
 	$(GO) test -race -short ./internal/experiments/...
 
-# Coverage gate: statement coverage of the serving, simulation and testkit
-# packages must not drop below scripts/coverage_baseline.txt.
+# Coverage gate: statement coverage of the serving, simulation, telemetry
+# and testkit packages must not drop below scripts/coverage_baseline.txt.
 cover:
 	./scripts/coverage_gate.sh
 

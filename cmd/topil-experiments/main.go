@@ -3,9 +3,11 @@
 // for a fast smoke run, -fig to select individual experiments, -out to
 // write the text report, -csvdir to additionally export each experiment's
 // data as CSV, -artifacts to cache the expensive design-time artifacts
-// across invocations, and -j to run each experiment's (technique × seed ×
+// across invocations, -j to run each experiment's (technique × seed ×
 // scenario) cells on a parallel worker pool — reports and CSV files are
-// byte-identical at any -j value.
+// byte-identical at any -j value — and -trace to write a Chrome-loadable
+// (chrome://tracing, Perfetto) span file of every simulation run in
+// sim-time, likewise byte-identical at any -j value.
 //
 // Experiments: fig1 (motivational), fig3 (NAS), fig5 (migration overhead),
 // fig7 (IL vs RL illustrative), fig8a/fig8b (main, fan / no fan, fig8b also
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 // csvFile is one CSV artifact an experiment can emit.
@@ -145,6 +148,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print pipeline progress")
 		artifacts = flag.String("artifacts", "", "cache design-time artifacts (dataset/models/Q-tables) in this directory")
 		jobs      = flag.Int("j", 0, "parallel run cells per experiment (0 = GOMAXPROCS); output is identical at any value")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of all simulation runs (sim-time) to this file")
 	)
 	flag.Parse()
 
@@ -158,6 +162,9 @@ func main() {
 	p := experiments.NewPipeline(scale)
 	p.ArtifactsDir = *artifacts
 	p.Workers = *jobs
+	if *traceOut != "" {
+		p.Traces = telemetry.NewTraceSet()
+	}
 	if *verbose {
 		p.Progress = func(msg string) { log.Print(msg) }
 	}
@@ -213,5 +220,18 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("report written to %s", *outPath)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Traces.WriteChrome(f); err != nil {
+			log.Fatalf("writing %s: %v", *traceOut, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trace written to %s (load in chrome://tracing or Perfetto)", *traceOut)
 	}
 }

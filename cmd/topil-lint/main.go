@@ -3,9 +3,12 @@
 // RNG or wall clock in the deterministic packages), lockcheck (mutex copy
 // and Lock/Unlock pairing hygiene), unitcheck (unit annotations on
 // physical float64 fields and parameters), exitcheck (no os.Exit /
-// log.Fatal / undocumented panic in library code) and testkitonly (the
+// log.Fatal / undocumented panic in library code), testkitonly (the
 // fault-injection harness internal/testkit may only be imported from
-// _test.go files, so chaos never ships in a production binary).
+// _test.go files, so chaos never ships in a production binary) and
+// telemetrycheck (no expvar, no wall-clock reads fed into telemetry
+// calls, Prometheus-valid metric names — outside internal/telemetry and
+// cmd/).
 //
 // Exit status: 0 when the tree is clean, 3 when findings are reported,
 // 1 on operational errors (bad pattern, unreadable files).

@@ -15,6 +15,12 @@
 //	GET    /v1/jobs/{id}   poll one job
 //	DELETE /v1/jobs/{id}   cancel a job
 //	GET    /v1/stats       per-endpoint, batcher and worker-pool metrics
+//	GET    /metrics        Prometheus text exposition (?format=json for JSON)
+//	GET    /v1/trace       Chrome trace-event JSON of recent request spans
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ (off by
+// default: profiling endpoints can stall a loaded server and leak
+// internals, so exposing them is an explicit operator decision).
 //
 // On SIGINT/SIGTERM the server stops accepting work and drains: accepted
 // inference requests are answered and in-flight simulation jobs run to
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -56,6 +63,7 @@ func run() error {
 		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "max time a request waits to coalesce")
 		inferCap  = flag.Int("infer-queue", 256, "pending inference submissions bound")
 		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
+		pprof     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -73,6 +81,12 @@ func run() error {
 		return fmt.Errorf("models path %s is not a directory", *models)
 	}
 
+	// One registry serves /metrics AND binds the lazy handles of the leaf
+	// packages (npu, nn), so accelerator-side counters surface alongside
+	// the HTTP families.
+	reg := telemetry.NewRegistry()
+	telemetry.Install(reg)
+
 	srv := serve.NewServer(serve.Config{
 		ModelsDir: *models,
 		Workers:   *workers,
@@ -82,6 +96,8 @@ func run() error {
 			MaxWait:  *batchWait,
 			QueueCap: *inferCap,
 		},
+		Telemetry:   reg,
+		EnablePprof: *pprof,
 	})
 	if names, err := srv.Registry().List(); err == nil {
 		log.Printf("serving %d model(s) from %s: %v", len(names), *models, names)

@@ -6,6 +6,10 @@
 // one on the fly), TOP-RL (optionally -qtable), GTS/ondemand, GTS/powersave.
 //
 //	topil-sim -technique TOP-IL -model artifacts/model-1.json -jobs 12 -rate 0.1
+//
+// -metrics dumps the run's telemetry (Prometheus text format) to a file or
+// "-" for stdout; -trace writes the run's sim-time spans as Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"repro/internal/npu"
 	"repro/internal/rl"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -46,6 +51,8 @@ func run() error {
 		csvPath   = flag.String("csv", "", "write a 500 ms time-series CSV (temp, freqs, per-app IPS)")
 		loadJobs  = flag.String("workload", "", "load a job list JSON instead of generating one")
 		saveJobs  = flag.String("save-workload", "", "save the generated job list JSON")
+		metrics   = flag.String("metrics", "", "dump run telemetry in Prometheus text format (\"-\" = stdout)")
+		traceOut  = flag.String("trace", "", "write sim-time spans as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -65,6 +72,18 @@ func run() error {
 
 	cfg := sim.DefaultConfig(*fan, 25)
 	cfg.Seed = *seed
+	var reg *telemetry.Registry
+	if *metrics != "" {
+		reg = telemetry.NewRegistry()
+		telemetry.Install(reg) // bind npu/nn lazy handles too
+		cfg.Telemetry = reg
+		cfg.PhaseClock = telemetry.NewWallClock() // per-tick phase costs
+	}
+	var traces *telemetry.TraceSet
+	if *traceOut != "" {
+		traces = telemetry.NewTraceSet()
+		cfg.Tracer = traces.Tracer("sim")
+	}
 	e := sim.New(cfg)
 	var jobList []workload.Job
 	if *loadJobs != "" {
@@ -94,6 +113,25 @@ func run() error {
 		hook = rec.Hook()
 	}
 	res := e.RunUntil(mgr, *dur, hook)
+	if reg != nil {
+		if err := writeMetrics(reg, *metrics); err != nil {
+			return err
+		}
+	}
+	if traces != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := traces.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Printf("trace written to %s (load in chrome://tracing or Perfetto)", *traceOut)
+	}
 	if rec != nil {
 		f, err := os.Create(*csvPath)
 		if err != nil {
@@ -128,6 +166,27 @@ func run() error {
 		fmt.Printf("  %-16s target %6.2f GIPS, achieved %6.2f GIPS  %s\n",
 			a.Name, a.QoS/1e9, a.MeanIPS/1e9, status)
 	}
+	return nil
+}
+
+// writeMetrics dumps the registry in Prometheus text format to path, or to
+// stdout when path is "-".
+func writeMetrics(reg *telemetry.Registry, path string) error {
+	if path == "-" {
+		return reg.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("metrics written to %s", path)
 	return nil
 }
 

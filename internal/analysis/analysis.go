@@ -12,7 +12,7 @@
 // merges on bespoke lints next to vet and the race detector.
 //
 // The engine is built purely on go/parser and go/types with a source
-// importer; it adds no module dependencies. Five analyzers encode the
+// importer; it adds no module dependencies. Six analyzers encode the
 // repo invariants:
 //
 //   - detrand:   no global math/rand, crypto/rand or wall-clock reads
@@ -30,6 +30,10 @@
 //   - testkitonly: the fault-injection harness internal/testkit may only
 //     be imported from _test.go files or from testkit itself, so injected
 //     chaos can never reach a production binary.
+//   - telemetrycheck: outside internal/telemetry and cmd/, no expvar, no
+//     time.Now/time.Since fed directly into telemetry calls (timestamps
+//     flow through an injected telemetry.Clock), and metric names handed
+//     to registry constructors must match the Prometheus charset.
 //
 // A finding can be suppressed with a directive on its own line immediately
 // above the offending line, or trailing the offending line:
@@ -65,7 +69,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in deterministic order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand(), LockCheck(), UnitCheck(), ExitCheck(), TestkitOnly()}
+	return []*Analyzer{DetRand(), LockCheck(), UnitCheck(), ExitCheck(), TestkitOnly(), TelemetryCheck()}
 }
 
 // ByName resolves a rule name against the given suite, or nil.

@@ -101,3 +101,5 @@ func TestUnitCheckGolden(t *testing.T) { runGolden(t, "unitcheck", UnitCheck()) 
 func TestExitCheckGolden(t *testing.T) { runGolden(t, "exitcheck", ExitCheck()) }
 
 func TestTestkitOnlyGolden(t *testing.T) { runGolden(t, "testkitonly", TestkitOnly()) }
+
+func TestTelemetryCheckGolden(t *testing.T) { runGolden(t, "telemetrycheck", TelemetryCheck()) }

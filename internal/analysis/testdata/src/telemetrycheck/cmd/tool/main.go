@@ -1,0 +1,17 @@
+// Command tool is a fixture binary: cmd/ packages wire wall-clocks into
+// the telemetry plumbing by design, so telemetrycheck exempts them and
+// nothing below is a finding.
+package main
+
+import (
+	"time"
+
+	"repro/internal/analysis/testdata/src/telemetrycheck/internal/telemetry"
+)
+
+func main() {
+	r := &telemetry.Registry{}
+	h := r.Histogram("tool_step_seconds", "ok", nil)
+	start := time.Now()
+	h.Observe(time.Since(start).Seconds())
+}

@@ -172,11 +172,11 @@ func (p *Pipeline) AblationDVFSStep() (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := func(jump bool) (map[string]float64, error) {
+	run := func(trace string, jump bool) (map[string]float64, error) {
 		cfg := core.DefaultConfig()
 		cfg.DVFSJump = jump
 		mgr := core.New(npu.New(models[0]), cfg)
-		e := p.newEngine(true, 1)
+		e := p.newEngine(trace, true, 1)
 		gen := workload.NewGenerator(101, workload.MixedPool(), p.PeakIPS,
 			0.2, 0.7, p.Scale.InstrScale)
 		e.AddJobs(gen.Generate(p.Scale.MixedJobs, p.Scale.ArrivalRates[0]))
@@ -188,8 +188,8 @@ func (p *Pipeline) AblationDVFSStep() (*AblationResult, error) {
 		}, nil
 	}
 	cells, err := RunMatrix(p, "ablation", []RunSpec[map[string]float64]{
-		{Tag: "dvfs/one-step", Run: func() (map[string]float64, error) { return run(false) }},
-		{Tag: "dvfs/jump", Run: func() (map[string]float64, error) { return run(true) }},
+		{Tag: "dvfs/one-step", Run: func() (map[string]float64, error) { return run("ablation/dvfs/one-step", false) }},
+		{Tag: "dvfs/jump", Run: func() (map[string]float64, error) { return run("ablation/dvfs/jump", true) }},
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -120,7 +121,7 @@ func TestRunMatrixConcurrentCells(t *testing.T) {
 					if err != nil {
 						return 0, err
 					}
-					e := p.newEngine(true, int64(i))
+					e := p.newEngine(fmt.Sprintf("hammer/%s/%d", tech, i), true, int64(i))
 					e.AddJob(workload.Job{Spec: spec, QoS: 1e8})
 					r := e.Run(mgr, 2)
 					return r.AvgTemp, nil

@@ -72,15 +72,16 @@ func (p *Pipeline) EnergyAnalysis() (*EnergyResult, error) {
 	var specs []RunSpec[*sim.Result]
 	for _, tech := range Techniques() {
 		for si := range p.Scale.Seeds {
+			tag := fmt.Sprintf("%s/seed%d", tech, p.Scale.Seeds[si])
 			specs = append(specs, RunSpec[*sim.Result]{
-				Tag: fmt.Sprintf("%s/seed%d", tech, p.Scale.Seeds[si]),
+				Tag: tag,
 				Run: func() (*sim.Result, error) {
 					mgr, err := p.Manager(tech, si)
 					if err != nil {
 						return nil, err
 					}
 					seed := p.Scale.Seeds[si]
-					e := p.newEngine(true, seed)
+					e := p.newEngine("energy/"+tag, true, seed)
 					gen := workload.NewGenerator(100+seed, workload.MixedPool(), p.PeakIPS,
 						0.2, 0.7, p.Scale.InstrScale)
 					e.AddJobs(gen.Generate(p.Scale.MixedJobs, rate))

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // RunSpec is one cell of an experiment's run matrix — typically one
@@ -120,9 +122,36 @@ func RunMatrix[T any](p *Pipeline, name string, specs []RunSpec[T]) ([]RunResult
 	if elapsed > 0 {
 		speedup = cellSeconds / elapsed
 	}
+	walls := make([]float64, len(results))
+	for i, r := range results {
+		walls[i] = r.WallSeconds
+	}
+	recordMatrixInto(p.Telemetry, name, walls, elapsed)
 	p.progress("%s: %d cells in %.1fs wall (%.1fs of cell time, %.1fx speedup, %d workers)",
 		name, total, elapsed, cellSeconds, speedup, workers)
 	return results, nil
+}
+
+// cellBuckets resolve run-matrix cell costs from 10 ms to ~5 min.
+var cellBuckets = telemetry.ExpBuckets(0.01, 2, 15)
+
+// recordMatrixInto feeds one matrix's wall-clock rollup into the
+// pipeline's telemetry registry: a per-cell cost histogram and the
+// matrix elapsed time, both labelled by matrix name. Observed in
+// results (submission) order after the barrier, so the histogram state
+// itself does not depend on worker interleaving.
+func recordMatrixInto(reg *telemetry.Registry, name string, wallSeconds []float64, elapsed float64) {
+	if reg == nil {
+		return
+	}
+	h := reg.HistogramVec("experiments_cell_seconds",
+		"wall-clock cost of one run-matrix cell", cellBuckets, "matrix").With(name)
+	for _, w := range wallSeconds {
+		h.Observe(w)
+	}
+	reg.GaugeVec("experiments_matrix_elapsed_seconds",
+		"wall-clock time of the last run of each matrix", "matrix").
+		With(name).Set(elapsed)
 }
 
 // workers resolves the configured pool size, defaulting to GOMAXPROCS.

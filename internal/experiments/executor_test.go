@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // matrixSpecs builds n cells whose values encode their submission index,
@@ -124,5 +126,33 @@ func TestRunMatrixProgressCounters(t *testing.T) {
 	}
 	if !strings.Contains(strings.Join(msgs, "\n"), "[6/6]") {
 		t.Errorf("no final [6/6] counter in %q", msgs)
+	}
+}
+
+// TestRunMatrixTelemetryRollup checks a pipeline registry receives the
+// per-cell cost histogram and the matrix elapsed gauge, labelled by
+// matrix name.
+func TestRunMatrixTelemetryRollup(t *testing.T) {
+	p := NewPipeline(QuickScale())
+	p.Workers = 4
+	p.Telemetry = telemetry.NewRegistry()
+	if _, err := RunMatrix(p, "rollup", matrixSpecs(6, nil)); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := p.Telemetry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `experiments_cell_seconds_count{matrix="rollup"} 6`) {
+		t.Errorf("cell histogram missing or wrong count:\n%s", out)
+	}
+	if !strings.Contains(out, `experiments_matrix_elapsed_seconds{matrix="rollup"}`) {
+		t.Errorf("matrix elapsed gauge missing:\n%s", out)
+	}
+	// No registry: the rollup must be a silent no-op.
+	p2 := NewPipeline(QuickScale())
+	if _, err := RunMatrix(p2, "rollup", matrixSpecs(2, nil)); err != nil {
+		t.Fatal(err)
 	}
 }

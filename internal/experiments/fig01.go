@@ -129,10 +129,11 @@ func (p *Pipeline) Fig1Motivational() (*Fig1Result, error) {
 			{"big", 5, 0, big.IndexOf(fb)},
 		}
 		for _, mp := range maps {
+			tag := fmt.Sprintf("%s/s1/%s", name, mp.label)
 			specs = append(specs, RunSpec[Fig1Row]{
-				Tag: fmt.Sprintf("%s/s1/%s", name, mp.label),
+				Tag: tag,
 				Run: func() (Fig1Row, error) {
-					e := p.newEngine(true, 0)
+					e := p.newEngine("fig1/"+tag, true, 0)
 					e.AddJob(workload.Job{Spec: spec, QoS: target})
 					mgr := &fig1Pin{little: mp.li, big: mp.bi,
 						placements: []platform.CoreID{mp.core}}
@@ -157,10 +158,11 @@ func (p *Pipeline) Fig1Motivational() (*Fig1Result, error) {
 		label string
 		core  platform.CoreID
 	}{{"LITTLE", 1}, {"big", 5}} {
+		tag := "adi/s2/" + mp.label
 		specs = append(specs, RunSpec[Fig1Row]{
-			Tag: "adi/s2/" + mp.label,
+			Tag: tag,
 			Run: func() (Fig1Row, error) {
-				e := p.newEngine(true, 0)
+				e := p.newEngine("fig1/"+tag, true, 0)
 				// Background on cores 0 (LITTLE) and 6,7 (big); per-cluster
 				// DVFS forces everything to the peak levels.
 				for range []int{0, 1, 2} {

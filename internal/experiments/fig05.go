@@ -87,13 +87,13 @@ func (p *Pipeline) Fig5MigrationOverhead() (*Fig5Result, error) {
 		dur = 15
 	}
 
-	meanIPS := func(name string, mgr sim.Manager) (float64, error) {
+	meanIPS := func(trace, name string, mgr sim.Manager) (float64, error) {
 		spec, ok := workload.ByName(name)
 		if !ok {
 			return 0, fmt.Errorf("experiments: unknown benchmark %q", name)
 		}
 		spec.TotalInstr = 1e18
-		e := p.newEngine(true, 0)
+		e := p.newEngine(trace, true, 0)
 		e.AddJob(workload.Job{Spec: spec, QoS: 0})
 		r := e.Run(mgr, dur)
 		return r.Apps[0].MeanIPS, nil
@@ -106,15 +106,15 @@ func (p *Pipeline) Fig5MigrationOverhead() (*Fig5Result, error) {
 	for _, name := range apps {
 		specs = append(specs,
 			RunSpec[float64]{Tag: name + "/big", Run: func() (float64, error) {
-				return meanIPS(name, &fig1Pin{little: 8, big: 8,
+				return meanIPS("fig5/"+name+"/big", name, &fig1Pin{little: 8, big: 8,
 					placements: []platform.CoreID{5}})
 			}},
 			RunSpec[float64]{Tag: name + "/LITTLE", Run: func() (float64, error) {
-				return meanIPS(name, &fig1Pin{little: 8, big: 8,
+				return meanIPS("fig5/"+name+"/LITTLE", name, &fig1Pin{little: 8, big: 8,
 					placements: []platform.CoreID{1}})
 			}},
 			RunSpec[float64]{Tag: name + "/ping-pong", Run: func() (float64, error) {
-				return meanIPS(name, &pingPong{a: 1, b: 5, epoch: 0.5})
+				return meanIPS("fig5/"+name+"/ping-pong", name, &pingPong{a: 1, b: 5, epoch: 0.5})
 			}},
 		)
 	}

@@ -105,7 +105,7 @@ func (p *Pipeline) Fig7Illustrative() (*Fig7Result, error) {
 					if err != nil {
 						return Fig7Trace{}, err
 					}
-					e := p.newEngine(true, 0)
+					e := p.newEngine("fig7/"+c.app+"/"+tech, true, 0)
 					e.AddJob(workload.Job{Spec: spec, QoS: target})
 
 					tr := Fig7Trace{App: c.app, Technique: tech, OptimalBig: c.optimalBig}

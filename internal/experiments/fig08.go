@@ -135,10 +135,11 @@ func (p *Pipeline) Fig8Main(fan bool) (*Fig8Result, error) {
 	for _, tech := range Techniques() {
 		for _, rate := range p.Scale.ArrivalRates {
 			for si := range p.Scale.Seeds {
+				tag := fmt.Sprintf("fan=%v/%s/r%.2f/seed%d", fan, tech, rate, p.Scale.Seeds[si])
 				specs = append(specs, RunSpec[*sim.Result]{
-					Tag: fmt.Sprintf("fan=%v/%s/r%.2f/seed%d", fan, tech, rate, p.Scale.Seeds[si]),
+					Tag: tag,
 					Run: func() (*sim.Result, error) {
-						return p.runMixed(tech, si, rate, fan)
+						return p.runMixed("fig8/"+tag, tech, si, rate, fan)
 					},
 				})
 			}
@@ -195,13 +196,13 @@ func (p *Pipeline) Fig8Main(fan bool) (*Fig8Result, error) {
 }
 
 // runMixed executes one mixed-workload run.
-func (p *Pipeline) runMixed(tech string, seedIdx int, rate float64, fan bool) (*sim.Result, error) {
+func (p *Pipeline) runMixed(trace, tech string, seedIdx int, rate float64, fan bool) (*sim.Result, error) {
 	mgr, err := p.Manager(tech, seedIdx)
 	if err != nil {
 		return nil, err
 	}
 	seed := p.Scale.Seeds[seedIdx]
-	e := p.newEngine(fan, seed)
+	e := p.newEngine(trace, fan, seed)
 	gen := workload.NewGenerator(100+seed, workload.MixedPool(), p.PeakIPS,
 		0.2, 0.7, p.Scale.InstrScale)
 	e.AddJobs(gen.Generate(p.Scale.MixedJobs, rate))

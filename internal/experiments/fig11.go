@@ -93,14 +93,15 @@ func (p *Pipeline) Fig11SingleApp() (*Fig11Result, error) {
 
 		for _, tech := range Techniques() {
 			for si := range p.Scale.Seeds {
+				tag := fmt.Sprintf("%s/%s/seed%d", name, tech, p.Scale.Seeds[si])
 				specs = append(specs, RunSpec[cell]{
-					Tag: fmt.Sprintf("%s/%s/seed%d", name, tech, p.Scale.Seeds[si]),
+					Tag: tag,
 					Run: func() (cell, error) {
 						mgr, err := p.Manager(tech, si)
 						if err != nil {
 							return cell{}, err
 						}
-						e := p.newEngine(true, p.Scale.Seeds[si])
+						e := p.newEngine("fig11/"+tag, true, p.Scale.Seeds[si])
 						e.AddJob(workload.Job{Spec: spec, QoS: target})
 						r := e.Run(mgr, dur)
 						return cell{AvgTemp: r.AvgTemp, Violated: r.Violations > 0}, nil

@@ -62,7 +62,7 @@ func (p *Pipeline) Fig12Overhead() (*Fig12Result, error) {
 		dur = 10
 	}
 
-	run := func(apps int, useNPU bool) (core.OverheadStats, float64, error) {
+	run := func(trace string, apps int, useNPU bool) (core.OverheadStats, float64, error) {
 		var backend npu.Backend
 		if useNPU {
 			backend = npu.New(model)
@@ -70,7 +70,7 @@ func (p *Pipeline) Fig12Overhead() (*Fig12Result, error) {
 			backend = npu.NewCPU(model)
 		}
 		mgr := core.New(backend, core.DefaultConfig())
-		e := p.newEngine(true, 0)
+		e := p.newEngine(trace, true, 0)
 		spec, ok := workload.ByName("seidel-2d")
 		if !ok {
 			return core.OverheadStats{}, 0, fmt.Errorf("experiments: missing benchmark")
@@ -98,10 +98,11 @@ func (p *Pipeline) Fig12Overhead() (*Fig12Result, error) {
 			if !useNPU {
 				backend = "cpu"
 			}
+			tag := fmt.Sprintf("%dapps/%s", apps, backend)
 			specs = append(specs, RunSpec[cell]{
-				Tag: fmt.Sprintf("%dapps/%s", apps, backend),
+				Tag: tag,
 				Run: func() (cell, error) {
-					st, d, err := run(apps, useNPU)
+					st, d, err := run("fig12/"+tag, apps, useNPU)
 					return cell{st: st, d: d}, err
 				},
 			})

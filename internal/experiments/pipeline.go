@@ -21,6 +21,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/rl"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -108,6 +109,18 @@ type Pipeline struct {
 	// Workers bounds RunMatrix concurrency; zero means GOMAXPROCS.
 	// Results are deterministic at any setting — see RunMatrix.
 	Workers int
+
+	// Telemetry, when set, receives the sim_* families of every engine the
+	// pipeline builds (counters sum across cells; sums are order-free, so
+	// the exported values do not depend on worker count) plus the
+	// executor's experiments_* rollups.
+	Telemetry *telemetry.Registry
+
+	// Traces, when set, collects one sim-time tracer per run-matrix cell.
+	// Cell tracer names derive from the cell's identity — never from
+	// dispatch order — and TraceSet output is sorted by name, so the
+	// rendered Chrome trace is byte-identical at any worker count.
+	Traces *telemetry.TraceSet
 
 	mu      sync.Mutex
 	dataset *oracle.Dataset
@@ -341,9 +354,15 @@ func (p *Pipeline) LittleMaxIPS(spec workload.AppSpec) float64 {
 	return best
 }
 
-// newEngine builds an evaluation engine.
-func (p *Pipeline) newEngine(fan bool, seed int64) *sim.Engine {
+// newEngine builds an evaluation engine. trace names the cell in the
+// pipeline's TraceSet; it must identify the cell (technique, seed,
+// scenario...), not its dispatch order.
+func (p *Pipeline) newEngine(trace string, fan bool, seed int64) *sim.Engine {
 	cfg := sim.DefaultConfig(fan, p.Scale.TAmb)
 	cfg.Seed = seed
+	cfg.Telemetry = p.Telemetry
+	if p.Traces != nil && trace != "" {
+		cfg.Tracer = p.Traces.Tracer(trace)
+	}
 	return sim.New(cfg)
 }

@@ -15,7 +15,17 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/telemetry"
 )
+
+// forwardPasses counts inference forward passes process-wide. A lazy
+// handle binds to the default registry only when a binary installs one;
+// uninstalled it is a few nanoseconds and zero allocations, so the
+// deterministic hot path stays clean (counting has no time base, which is
+// why this passes detrand where a clock read would not).
+var forwardPasses = telemetry.LazyCounter{Name: "nn_forward_passes_total",
+	Help: "MLP inference forward passes (Predict and PredictBatch rows)"}
 
 // MLP is a multi-layer perceptron with ReLU hidden activations and a linear
 // output layer.
@@ -84,6 +94,7 @@ func (m *MLP) Predict(x []float64) []float64 {
 	if len(x) != m.sizes[0] {
 		panic(fmt.Sprintf("nn: input dim %d, want %d", len(x), m.sizes[0]))
 	}
+	forwardPasses.Inc()
 	act := append([]float64(nil), x...)
 	last := len(m.weights) - 1
 	for l := range m.weights {

@@ -4,7 +4,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/telemetry"
 )
+
+// trainEpochs counts training epochs process-wide (see forwardPasses in
+// nn.go for the lazy-binding rationale).
+var trainEpochs = telemetry.LazyCounter{Name: "nn_train_epochs_total",
+	Help: "MLP training epochs completed"}
 
 // Dataset is a supervised learning dataset: X[i] is a feature vector,
 // Y[i] the target vector.
@@ -178,6 +185,7 @@ func (m *MLP) Train(train, val Dataset, cfg TrainConfig) (TrainResult, error) {
 	}
 
 	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
+		trainEpochs.Inc()
 		lr := cfg.LR0 * math.Pow(cfg.LRDecay, float64(epoch))
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 

@@ -16,6 +16,25 @@ import (
 	"time"
 
 	"repro/internal/nn"
+	"repro/internal/telemetry"
+)
+
+// Lazy telemetry handles: they bind to the process-default registry when a
+// binary installs one (telemetry.Install) and cost a few nanoseconds with
+// zero allocations otherwise, so the hot inference path carries them
+// unconditionally.
+var (
+	npuInferences = telemetry.LazyCounter{Name: "npu_inferences_total",
+		Help: "batched Infer invocations on the modelled NPU"}
+	npuRows = telemetry.LazyCounter{Name: "npu_rows_total",
+		Help: "rows inferred on the modelled NPU"}
+	npuAsyncLatency = telemetry.LazyHistogram{Name: "npu_modeled_latency_seconds",
+		Help:    "modelled device latency of async NPU invocations",
+		Buckets: telemetry.ExpBuckets(100e-6, 2, 10)}
+	cpuInferences = telemetry.LazyCounter{Name: "npu_cpu_inferences_total",
+		Help: "batched Infer invocations on the modelled CPU backend"}
+	cpuRows = telemetry.LazyCounter{Name: "npu_cpu_rows_total",
+		Help: "rows inferred on the modelled CPU backend"}
 )
 
 // Backend performs batched NN inference and reports how long the real
@@ -76,6 +95,8 @@ func (n *NPU) Name() string { return "npu" }
 
 // Infer implements Backend.
 func (n *NPU) Infer(batch [][]float64) [][]float64 {
+	npuInferences.Inc()
+	npuRows.Add(float64(len(batch)))
 	return n.model.PredictBatch(batch)
 }
 
@@ -94,7 +115,9 @@ func (n *NPU) Latency(batchSize int) time.Duration {
 func (n *NPU) InferAsync(batch [][]float64) <-chan Result {
 	ch := make(chan Result, 1)
 	go func() {
-		ch <- Result{Outputs: n.Infer(batch), Latency: n.Latency(len(batch))}
+		lat := n.Latency(len(batch))
+		npuAsyncLatency.Observe(lat.Seconds())
+		ch <- Result{Outputs: n.Infer(batch), Latency: lat}
 	}()
 	return ch
 }
@@ -136,6 +159,8 @@ func (c *CPUBackend) Name() string { return "cpu" }
 
 // Infer implements Backend.
 func (c *CPUBackend) Infer(batch [][]float64) [][]float64 {
+	cpuInferences.Inc()
+	cpuRows.Add(float64(len(batch)))
 	return c.model.PredictBatch(batch)
 }
 

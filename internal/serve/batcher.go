@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/npu"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by Batcher.Submit; the HTTP layer maps them to
@@ -37,6 +38,12 @@ type BatcherConfig struct {
 	// the queue fills, and Submit starts rejecting: end-to-end
 	// backpressure instead of unbounded dispatch goroutines.
 	MaxInflight int
+	// Registry receives the batcher's metric families (serve_batcher_*),
+	// labelled by Name. Nil gets a private registry, so Stats works for
+	// standalone batchers.
+	Registry *telemetry.Registry
+	// Name is the batcher's `model` label value (the served model's name).
+	Name string
 }
 
 // DefaultBatcherConfig returns production defaults: one NPU wave per batch
@@ -92,19 +99,48 @@ type Batcher struct {
 
 	mu     sync.Mutex
 	closed bool
-	stats  batcherCounters
+	stats  batcherMetrics
 }
 
-type batcherCounters struct {
-	requests     uint64
-	rejected     uint64
-	batches      uint64
-	flushFull    uint64
-	flushTimer   uint64
-	largestBatch int
-	sumBatch     uint64
-	inferErrors  uint64 // requests failed with ErrInference
-	batchPanics  uint64 // batches whose device call panicked
+// batcherMetrics are the coalescing counters as telemetry handles. Every
+// field is lock-free, so the flush path no longer serializes on the stats
+// mutex; BatcherStats is derived from these at snapshot time.
+type batcherMetrics struct {
+	requests    *telemetry.Counter
+	rejected    *telemetry.Counter
+	flushFull   *telemetry.Counter
+	flushTimer  *telemetry.Counter
+	batchSize   *telemetry.Histogram // count = batches, max = largest, sum/count = mean
+	inferErrors *telemetry.Counter   // requests failed with ErrInference
+	batchPanics *telemetry.Counter   // batches whose device call panicked
+	queueDepth  *telemetry.Gauge     // pending submissions, updated on queue transitions
+}
+
+// batchSizeBuckets spans one request through two NPU waves; batch sizes
+// are small integers, so unit-width buckets keep the histogram exact.
+var batchSizeBuckets = telemetry.LinearBuckets(1, 1, 32)
+
+// newBatcherMetrics resolves the serve_batcher_* family handles for one
+// model label.
+func newBatcherMetrics(reg *telemetry.Registry, model string) batcherMetrics {
+	return batcherMetrics{
+		requests: reg.CounterVec("serve_batcher_requests_total",
+			"inference submissions accepted into the queue", "model").With(model),
+		rejected: reg.CounterVec("serve_batcher_rejected_total",
+			"inference submissions rejected with backpressure (429)", "model").With(model),
+		flushFull: reg.CounterVec("serve_batcher_flush_full_total",
+			"batches flushed because MaxBatch requests were pending", "model").With(model),
+		flushTimer: reg.CounterVec("serve_batcher_flush_timer_total",
+			"batches flushed by the MaxWait timer", "model").With(model),
+		batchSize: reg.HistogramVec("serve_batcher_batch_size",
+			"coalesced requests per device invocation", batchSizeBuckets, "model").With(model),
+		inferErrors: reg.CounterVec("serve_batcher_infer_errors_total",
+			"requests failed with a device-side inference error", "model").With(model),
+		batchPanics: reg.CounterVec("serve_batcher_panics_total",
+			"batches whose device call panicked", "model").With(model),
+		queueDepth: reg.GaugeVec("serve_batcher_queue_depth",
+			"inference submissions waiting for a batch", "model").With(model),
+	}
 }
 
 // BatcherStats is a point-in-time snapshot of the coalescing behaviour.
@@ -140,6 +176,12 @@ func NewBatcher(backend npu.Backend, inputDim int, cfg BatcherConfig) *Batcher {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = DefaultBatcherConfig().MaxInflight
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	if cfg.Name == "" {
+		cfg.Name = "default"
+	}
 	b := &Batcher{
 		backend:  backend,
 		inputDim: inputDim,
@@ -147,6 +189,7 @@ func NewBatcher(backend npu.Backend, inputDim int, cfg BatcherConfig) *Batcher {
 		reqs:     make(chan batchReq, cfg.QueueCap),
 		quit:     make(chan struct{}),
 		sem:      make(chan struct{}, cfg.MaxInflight),
+		stats:    newBatcherMetrics(cfg.Registry, cfg.Name),
 	}
 	b.collector.Add(1)
 	go b.collect()
@@ -169,12 +212,13 @@ func (b *Batcher) Submit(ctx context.Context, in []float64) ([]float64, SubmitIn
 		b.mu.Unlock()
 		return nil, SubmitInfo{}, ErrClosed
 	}
-	b.stats.requests++
+	b.stats.requests.Inc()
 	select {
 	case b.reqs <- req:
+		b.stats.queueDepth.Set(float64(len(b.reqs)))
 		b.mu.Unlock()
 	default:
-		b.stats.rejected++
+		b.stats.rejected.Inc()
 		b.mu.Unlock()
 		return nil, SubmitInfo{}, ErrOverloaded
 	}
@@ -201,6 +245,7 @@ func (b *Batcher) collect() {
 			b.drain()
 			return
 		case first := <-b.reqs:
+			b.stats.queueDepth.Set(float64(len(b.reqs)))
 			batch := append(make([]batchReq, 0, b.cfg.MaxBatch), first)
 			timer := time.NewTimer(b.cfg.MaxWait)
 			full := true
@@ -209,6 +254,7 @@ func (b *Batcher) collect() {
 				select {
 				case r := <-b.reqs:
 					batch = append(batch, r)
+					b.stats.queueDepth.Set(float64(len(b.reqs)))
 				case <-timer.C:
 					full = false
 					break gather
@@ -234,6 +280,7 @@ func (b *Batcher) drain() {
 			select {
 			case r := <-b.reqs:
 				batch = append(batch, r)
+				b.stats.queueDepth.Set(float64(len(b.reqs)))
 			default:
 				goto out
 			}
@@ -249,18 +296,12 @@ func (b *Batcher) drain() {
 // flush dispatches a batch without blocking the collector, mirroring the
 // non-blocking npu.InferAsync call of the paper's daemon.
 func (b *Batcher) flush(batch []batchReq, full bool) {
-	b.mu.Lock()
-	b.stats.batches++
 	if full {
-		b.stats.flushFull++
+		b.stats.flushFull.Inc()
 	} else {
-		b.stats.flushTimer++
+		b.stats.flushTimer.Inc()
 	}
-	if len(batch) > b.stats.largestBatch {
-		b.stats.largestBatch = len(batch)
-	}
-	b.stats.sumBatch += uint64(len(batch))
-	b.mu.Unlock()
+	b.stats.batchSize.Observe(float64(len(batch)))
 
 	// Acquire a device slot before dispatching; with every slot busy this
 	// blocks the collector, which is what propagates backpressure to the
@@ -298,13 +339,9 @@ func (b *Batcher) flush(batch []batchReq, full bool) {
 				r.out <- batchResp{out: outs[i], device: dev, batchSize: len(batch)}
 			}
 		}
-		if rowErrs > 0 || err != nil {
-			b.mu.Lock()
-			b.stats.inferErrors += uint64(rowErrs)
-			if err != nil {
-				b.stats.batchPanics++
-			}
-			b.mu.Unlock()
+		b.stats.inferErrors.Add(float64(rowErrs))
+		if err != nil {
+			b.stats.batchPanics.Inc()
 		}
 	}()
 }
@@ -337,22 +374,22 @@ func (b *Batcher) Close() {
 	b.inflight.Wait()
 }
 
-// Stats returns a snapshot of the coalescing counters.
+// Stats returns a snapshot of the coalescing counters, derived from the
+// batcher's telemetry handles in the JSON shape /v1/stats has always
+// served.
 func (b *Batcher) Stats() BatcherStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	s := BatcherStats{
-		Requests:     b.stats.requests,
-		Rejected:     b.stats.rejected,
-		Batches:      b.stats.batches,
-		FlushFull:    b.stats.flushFull,
-		FlushTimer:   b.stats.flushTimer,
-		LargestBatch: b.stats.largestBatch,
-		InferErrors:  b.stats.inferErrors,
-		BatchPanics:  b.stats.batchPanics,
+		Requests:     uint64(b.stats.requests.Value()),
+		Rejected:     uint64(b.stats.rejected.Value()),
+		Batches:      b.stats.batchSize.Count(),
+		FlushFull:    uint64(b.stats.flushFull.Value()),
+		FlushTimer:   uint64(b.stats.flushTimer.Value()),
+		LargestBatch: int(b.stats.batchSize.Max()),
+		InferErrors:  uint64(b.stats.inferErrors.Value()),
+		BatchPanics:  uint64(b.stats.batchPanics.Value()),
 	}
 	if s.Batches > 0 {
-		s.MeanBatch = float64(b.stats.sumBatch) / float64(s.Batches)
+		s.MeanBatch = b.stats.batchSize.Sum() / float64(s.Batches)
 	}
 	return s
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/npu"
 	"repro/internal/perf"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -277,17 +278,23 @@ type Runner struct {
 	order  []string
 	seq    int
 
-	done, failed, canceled, submitted, rejected uint64
+	done, failed, canceled, submitted, rejected *telemetry.Counter
+	running                                     *telemetry.Gauge
 }
 
 // NewRunner starts `workers` goroutines consuming a queue of `queueCap`
-// pending jobs. The registry resolves TOP-IL models.
-func NewRunner(reg *Registry, workers, queueCap int) *Runner {
+// pending jobs. The registry resolves TOP-IL models; tel receives the
+// pool's metric families (serve_jobs_*) — nil gets a private registry,
+// so Stats works for standalone runners.
+func NewRunner(reg *Registry, workers, queueCap int, tel *telemetry.Registry) *Runner {
 	if workers <= 0 {
 		workers = 1
 	}
 	if queueCap <= 0 {
 		queueCap = 16
+	}
+	if tel == nil {
+		tel = telemetry.NewRegistry()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Runner{
@@ -298,7 +305,23 @@ func NewRunner(reg *Registry, workers, queueCap int) *Runner {
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		jobs:      make(map[string]*Job),
+		done: tel.CounterVec("serve_jobs_finished_total",
+			"simulation jobs by terminal state", "state").With(string(StateDone)),
+		failed: tel.CounterVec("serve_jobs_finished_total",
+			"simulation jobs by terminal state", "state").With(string(StateFailed)),
+		canceled: tel.CounterVec("serve_jobs_finished_total",
+			"simulation jobs by terminal state", "state").With(string(StateCanceled)),
+		submitted: tel.Counter("serve_jobs_submitted_total",
+			"simulation jobs accepted into the queue"),
+		rejected: tel.Counter("serve_jobs_rejected_total",
+			"simulation jobs rejected with backpressure (429)"),
+		running: tel.Gauge("serve_jobs_running",
+			"simulation jobs currently executing"),
 	}
+	tel.Gauge("serve_jobs_workers", "worker pool size").Set(float64(workers))
+	tel.Gauge("serve_jobs_queue_cap", "job queue capacity").Set(float64(queueCap))
+	tel.GaugeFunc("serve_jobs_queue_depth", "simulation jobs waiting for a worker",
+		func() float64 { return float64(len(r.queue)) })
 	for i := 0; i < workers; i++ {
 		r.wg.Add(1)
 		go r.worker()
@@ -344,11 +367,11 @@ func (r *Runner) Submit(req SimRequest) (JobSnapshot, error) {
 	case r.queue <- j:
 		r.jobs[j.id] = j
 		r.order = append(r.order, j.id)
-		r.submitted++
+		r.submitted.Inc()
 		r.mu.Unlock()
 		return j.Snapshot(), nil
 	default:
-		r.rejected++
+		r.rejected.Inc()
 		r.mu.Unlock()
 		jobCancel()
 		return JobSnapshot{}, ErrOverloaded
@@ -393,7 +416,8 @@ func (r *Runner) Cancel(id string) bool {
 	return true
 }
 
-// Stats returns a snapshot of the pool.
+// Stats returns a snapshot of the pool, derived from the runner's
+// telemetry counters in the JSON shape /v1/stats has always served.
 func (r *Runner) Stats() RunnerStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -401,11 +425,11 @@ func (r *Runner) Stats() RunnerStats {
 		Workers:   r.workers,
 		QueueCap:  r.queueCap,
 		Queued:    len(r.queue),
-		Done:      r.done,
-		Failed:    r.failed,
-		Canceled:  r.canceled,
-		Submitted: r.submitted,
-		Rejected:  r.rejected,
+		Done:      uint64(r.done.Value()),
+		Failed:    uint64(r.failed.Value()),
+		Canceled:  uint64(r.canceled.Value()),
+		Submitted: uint64(r.submitted.Value()),
+		Rejected:  uint64(r.rejected.Value()),
 	}
 	for _, j := range r.jobs {
 		if j.State() == StateRunning {
@@ -461,6 +485,8 @@ func (r *Runner) run(j *Job) {
 		return
 	}
 	j.setState(StateRunning)
+	r.running.Add(1)
+	defer r.running.Add(-1)
 	res, err := r.execute(ctx, j.req)
 	switch {
 	case err != nil:
@@ -482,15 +508,13 @@ func (r *Runner) run(j *Job) {
 }
 
 func (r *Runner) count(st JobState) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	switch st {
 	case StateDone:
-		r.done++
+		r.done.Inc()
 	case StateFailed:
-		r.failed++
+		r.failed.Inc()
 	case StateCanceled:
-		r.canceled++
+		r.canceled.Inc()
 	}
 }
 

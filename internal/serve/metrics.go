@@ -1,102 +1,24 @@
 package serve
 
 import (
-	"sort"
-	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
-// latencyBuckets are the histogram bucket upper bounds. Exponential spacing
-// from 50 µs to ~26 s covers both the sub-millisecond inference path and
-// multi-second simulation jobs with bounded memory.
-var latencyBuckets = func() []time.Duration {
-	var b []time.Duration
-	for d := 50 * time.Microsecond; d < 30*time.Second; d *= 2 {
-		b = append(b, d)
-	}
-	return b
-}()
+// latencyBuckets are the request-latency histogram bounds in seconds:
+// exponential spacing from 50 µs to ~26 s covers both the sub-millisecond
+// inference path and multi-second simulation jobs with bounded memory.
+var latencyBuckets = telemetry.ExpBuckets(50e-6, 2, 20)
 
-// Histogram is a fixed-bucket latency histogram safe for concurrent use.
-type Histogram struct {
-	mu     sync.Mutex
-	counts []uint64
-	over   uint64 // observations above the last bucket
-	total  uint64
-	sum    time.Duration
-	max    time.Duration
-}
-
-// NewHistogram creates an empty histogram over latencyBuckets.
-func NewHistogram() *Histogram {
-	return &Histogram{counts: make([]uint64, len(latencyBuckets))}
-}
-
-// Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.total++
-	h.sum += d
-	if d > h.max {
-		h.max = d
-	}
-	i := sort.Search(len(latencyBuckets), func(i int) bool { return d <= latencyBuckets[i] })
-	if i == len(latencyBuckets) {
-		h.over++
-		return
-	}
-	h.counts[i]++
-}
-
-// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
-// within the containing bucket. Returns 0 for an empty histogram.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.total == 0 {
-		return 0
-	}
-	rank := q * float64(h.total)
-	cum := 0.0
-	for i, c := range h.counts {
-		if c == 0 {
-			continue
-		}
-		next := cum + float64(c)
-		if rank <= next {
-			lo := time.Duration(0)
-			if i > 0 {
-				lo = latencyBuckets[i-1]
-			}
-			hi := latencyBuckets[i]
-			frac := (rank - cum) / float64(c)
-			return lo + time.Duration(frac*float64(hi-lo))
-		}
-		cum = next
-	}
-	return h.max
-}
-
-// Snapshot returns the aggregate counters.
-func (h *Histogram) Snapshot() HistogramSnapshot {
-	p50 := h.Quantile(0.50)
-	p95 := h.Quantile(0.95)
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := HistogramSnapshot{Count: h.total, MaxMs: ms(h.max), P50Ms: ms(p50), P95Ms: ms(p95)}
-	if h.total > 0 {
-		s.MeanMs = ms(h.sum / time.Duration(h.total))
-	}
-	return s
-}
-
+// ms converts a duration to fractional milliseconds for JSON snapshots.
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-// HistogramSnapshot is the JSON form of a Histogram.
+// secToMs converts seconds (the registry's base unit) to milliseconds.
+func secToMs(s float64) float64 { return s * 1e3 }
+
+// HistogramSnapshot is the JSON latency summary in /v1/stats, derived
+// from a telemetry.Histogram at snapshot time.
 type HistogramSnapshot struct {
 	Count  uint64  `json:"count"`
 	MeanMs float64 `json:"meanMs"`
@@ -105,16 +27,21 @@ type HistogramSnapshot struct {
 	MaxMs  float64 `json:"maxMs"`
 }
 
-// EndpointStats accumulates per-endpoint request counters.
-type EndpointStats struct {
-	mu      sync.Mutex
-	count   uint64
-	errors  uint64 // 4xx
-	faults  uint64 // 5xx
-	latency *Histogram
+// histogramSnapshot summarizes a registry histogram of seconds.
+func histogramSnapshot(h *telemetry.Histogram) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.Count(),
+		P50Ms: secToMs(h.Quantile(0.50)),
+		P95Ms: secToMs(h.Quantile(0.95)),
+		MaxMs: secToMs(h.Max()),
+	}
+	if s.Count > 0 {
+		s.MeanMs = secToMs(h.Sum() / float64(s.Count))
+	}
+	return s
 }
 
-// EndpointSnapshot is the JSON form of EndpointStats.
+// EndpointSnapshot is the per-endpoint JSON block of /v1/stats.
 type EndpointSnapshot struct {
 	Count   uint64            `json:"count"`
 	Errors  uint64            `json:"errors"`
@@ -122,59 +49,85 @@ type EndpointSnapshot struct {
 	Latency HistogramSnapshot `json:"latency"`
 }
 
-// Metrics tracks request statistics per endpoint pattern.
+// Metrics tracks request statistics per endpoint pattern. It is a thin
+// view over two telemetry families —
+//
+//	http_requests_total{route,class}
+//	http_request_duration_seconds{route}
+//
+// — shared between the Prometheus exposition on GET /metrics and the
+// legacy JSON on GET /v1/stats, which Snapshot rebuilds in its original
+// shape. The previous package-private histogram (a linear bucket scan
+// under one mutex, serializing every request's Record) is gone: telemetry
+// histograms use atomic per-bucket counters.
 type Metrics struct {
-	mu        sync.Mutex
-	endpoints map[string]*EndpointStats
+	requests *telemetry.CounterVec
+	latency  *telemetry.HistogramVec
 }
 
-// NewMetrics creates an empty metrics registry.
-func NewMetrics() *Metrics {
-	return &Metrics{endpoints: make(map[string]*EndpointStats)}
-}
-
-// endpoint returns (creating on demand) the stats for a pattern.
-func (m *Metrics) endpoint(pattern string) *EndpointStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := m.endpoints[pattern]
-	if s == nil {
-		s = &EndpointStats{latency: NewHistogram()}
-		m.endpoints[pattern] = s
+// NewMetrics creates the request metrics over the given registry. A nil
+// registry gets a private one, so the snapshot path works standalone.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
 	}
-	return s
+	return &Metrics{
+		requests: reg.CounterVec("http_requests_total",
+			"served requests by route and status class", "route", "class"),
+		latency: reg.HistogramVec("http_request_duration_seconds",
+			"request latency by route", latencyBuckets, "route"),
+	}
+}
+
+// statusClass buckets an HTTP status into its class label.
+func statusClass(status int) string {
+	switch status / 100 {
+	case 1:
+		return "1xx"
+	case 2:
+		return "2xx"
+	case 3:
+		return "3xx"
+	case 4:
+		return "4xx"
+	case 5:
+		return "5xx"
+	default:
+		return "other"
+	}
 }
 
 // Record registers one served request.
 func (m *Metrics) Record(pattern string, status int, d time.Duration) {
-	s := m.endpoint(pattern)
-	s.mu.Lock()
-	s.count++
-	switch {
-	case status >= 500:
-		s.faults++
-	case status >= 400:
-		s.errors++
+	if d < 0 {
+		d = 0
 	}
-	s.mu.Unlock()
-	s.latency.Observe(d)
+	m.requests.With(pattern, statusClass(status)).Inc()
+	m.latency.With(pattern).Observe(d.Seconds())
 }
 
-// Snapshot returns all endpoint counters keyed by pattern.
+// Snapshot returns all endpoint counters keyed by pattern, in the JSON
+// shape /v1/stats has always served.
 func (m *Metrics) Snapshot() map[string]EndpointSnapshot {
-	m.mu.Lock()
-	patterns := make([]string, 0, len(m.endpoints))
-	for p := range m.endpoints {
-		patterns = append(patterns, p)
-	}
-	m.mu.Unlock()
-	out := make(map[string]EndpointSnapshot, len(patterns))
-	for _, p := range patterns {
-		s := m.endpoint(p)
-		lat := s.latency.Snapshot()
-		s.mu.Lock()
-		out[p] = EndpointSnapshot{Count: s.count, Errors: s.errors, Faults: s.faults, Latency: lat}
-		s.mu.Unlock()
-	}
+	out := make(map[string]EndpointSnapshot)
+	m.latency.Each(func(labels []string, h *telemetry.Histogram) {
+		route := labels[0]
+		s := out[route]
+		s.Latency = histogramSnapshot(h)
+		out[route] = s
+	})
+	m.requests.Each(func(labels []string, c *telemetry.Counter) {
+		route, class := labels[0], labels[1]
+		s := out[route]
+		n := uint64(c.Value())
+		s.Count += n
+		switch class {
+		case "4xx":
+			s.Errors += n
+		case "5xx":
+			s.Faults += n
+		}
+		out[route] = s
+	})
 	return out
 }

@@ -64,6 +64,7 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		span := s.tracer.Start(pattern)
 		defer func() {
 			if p := recover(); p != nil {
 				log.Printf("serve: %s %s [%s]: panic: %v", r.Method, r.URL.Path, id, p)
@@ -71,6 +72,7 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 					http.Error(sw, "internal error", http.StatusInternalServerError)
 				}
 			}
+			span.End()
 			s.metrics.Record(pattern, sw.status, time.Since(start))
 		}()
 		h(sw, r)

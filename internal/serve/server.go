@@ -6,9 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // maxBodyBytes bounds request bodies (a 1024-job manifest fits easily).
@@ -24,6 +27,17 @@ type Config struct {
 	QueueCap int
 	// Batch tunes the inference coalescing frontend.
 	Batch BatcherConfig
+	// Telemetry receives every metric family the server and its batchers
+	// and job pool produce, and backs GET /metrics. Nil gets a private
+	// registry (metrics still work, just not shared with the process
+	// default).
+	Telemetry *telemetry.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in,
+	// since profiling endpoints do not belong on an open port by default.
+	EnablePprof bool
+	// TraceSpans bounds the wall-time request trace ring served by
+	// GET /v1/trace (default 4096; oldest spans are dropped beyond it).
+	TraceSpans int
 }
 
 // Server is the HTTP service: model registry + batching inference frontend
@@ -33,6 +47,9 @@ type Server struct {
 	reg     *Registry
 	runner  *Runner
 	metrics *Metrics
+	tel     *telemetry.Registry
+	tracer  *telemetry.Tracer // wall-time request spans, bounded ring
+	clock   telemetry.Clock   // wall clock, origin = server start
 
 	mu       sync.Mutex
 	batchers map[string]*Batcher
@@ -47,15 +64,37 @@ func NewServer(cfg Config) *Server {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 4 * cfg.Workers
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	if cfg.TraceSpans <= 0 {
+		cfg.TraceSpans = 4096
+	}
+	clock := telemetry.NewWallClock()
+	tracer := telemetry.NewTracer(clock)
+	tracer.SetMaxSpans(cfg.TraceSpans)
 	reg := NewRegistry(cfg.ModelsDir)
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		reg:      reg,
-		runner:   NewRunner(reg, cfg.Workers, cfg.QueueCap),
-		metrics:  NewMetrics(),
+		runner:   NewRunner(reg, cfg.Workers, cfg.QueueCap, cfg.Telemetry),
+		metrics:  NewMetrics(cfg.Telemetry),
+		tel:      cfg.Telemetry,
+		tracer:   tracer,
+		clock:    clock,
 		batchers: make(map[string]*Batcher),
 	}
+	// The uptime gauge reads the server's injected wall clock rather than
+	// calling time.Now at scrape — the same clock-injection discipline the
+	// deterministic packages use with sim time.
+	cfg.Telemetry.GaugeFunc("serve_uptime_seconds",
+		"seconds since the server was constructed", clock.Now)
+	return s
 }
+
+// Telemetry exposes the server's metric registry (used by topil-serve and
+// tests).
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
 
 // Registry exposes the model registry (used by conformance tests).
 func (s *Server) Registry() *Registry { return s.reg }
@@ -74,6 +113,15 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/jobs/{id}", s.handleJob)
 	route("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	route("GET /v1/stats", s.handleStats)
+	route("GET /v1/trace", s.handleTrace)
+	route("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -130,7 +178,10 @@ func (s *Server) batcherFor(name string) (*Batcher, error) {
 	if b := s.batchers[name]; b != nil {
 		return b, nil
 	}
-	b := NewBatcher(backend, model.InputDim(), s.cfg.Batch)
+	bcfg := s.cfg.Batch
+	bcfg.Registry = s.tel
+	bcfg.Name = name
+	b := NewBatcher(backend, model.InputDim(), bcfg)
 	s.batchers[name] = b
 	return b, nil
 }
@@ -296,6 +347,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Batchers:  batchers,
 		Jobs:      s.runner.Stats(),
 	})
+}
+
+// handleMetrics serves the telemetry registry: Prometheus text exposition
+// by default, the JSON dump with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.tel.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	_ = s.tel.WritePrometheus(w)
+}
+
+// handleTrace serves the bounded wall-time request-span ring as a Chrome
+// trace (chrome://tracing, ui.perfetto.dev). Timestamps are seconds since
+// server start on the injected wall clock.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	ts := telemetry.NewTraceSet()
+	dst := ts.Tracer("serve")
+	spans, _ := s.tracer.Spans()
+	for _, sp := range spans {
+		if sp.Dur <= 0 {
+			dst.InstantAt(sp.Name, sp.Start)
+			continue
+		}
+		dst.StartAt(sp.Name, sp.Start).EndAt(sp.Start + sp.Dur)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = ts.WriteChrome(w)
 }
 
 // --- helpers ---

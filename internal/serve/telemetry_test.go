@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// statsGolden is the exact field-name tree of /v1/stats. The endpoint is
+// a public contract: renaming or dropping any of these keys breaks
+// existing consumers, so the migration onto the telemetry registry must
+// reproduce them verbatim.
+var statsGolden = map[string][]string{
+	"":          {"endpoints", "batchers", "jobs"},
+	"endpoints": {"count", "errors", "faults", "latency"},
+	"latency":   {"count", "meanMs", "p50Ms", "p95Ms", "maxMs"},
+	"batchers": {"requests", "rejected", "batches", "flushFull", "flushTimer",
+		"largestBatch", "meanBatch", "inferErrors", "batchPanics"},
+	"jobs": {"workers", "queueCap", "queued", "running", "done", "failed",
+		"canceled", "submitted", "rejected"},
+}
+
+// TestStatsFieldNamesGolden drives real traffic through the server and
+// checks every JSON key of /v1/stats against the golden contract.
+func TestStatsFieldNamesGolden(t *testing.T) {
+	_, ts, m := newTestServer(t)
+	in := make([]float64, m.InputDim())
+	postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "model-1", Inputs: [][]float64{in}})
+	postJSON(t, ts.URL+"/v1/sim", SimRequest{Policy: "GTS/powersave", Duration: 0.2})
+	getJSON(t, ts.URL+"/v1/jobs", nil)
+	getJSON(t, ts.URL+"/v1/does-not-exist", nil) // a 404 for the errors counter
+
+	var raw map[string]json.RawMessage
+	getJSON(t, ts.URL+"/v1/stats", &raw)
+	requireKeys(t, "", raw, statsGolden[""])
+
+	var endpoints map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(raw["endpoints"], &endpoints); err != nil {
+		t.Fatal(err)
+	}
+	if len(endpoints) == 0 {
+		t.Fatal("no endpoints recorded")
+	}
+	for route, ep := range endpoints {
+		requireKeys(t, "endpoints."+route, ep, statsGolden["endpoints"])
+		var lat map[string]json.RawMessage
+		if err := json.Unmarshal(ep["latency"], &lat); err != nil {
+			t.Fatal(err)
+		}
+		requireKeys(t, "endpoints."+route+".latency", lat, statsGolden["latency"])
+	}
+
+	var batchers map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(raw["batchers"], &batchers); err != nil {
+		t.Fatal(err)
+	}
+	if len(batchers) != 1 {
+		t.Fatalf("want 1 batcher, got %d", len(batchers))
+	}
+	for name, b := range batchers {
+		requireKeys(t, "batchers."+name, b, statsGolden["batchers"])
+	}
+
+	var jobs map[string]json.RawMessage
+	if err := json.Unmarshal(raw["jobs"], &jobs); err != nil {
+		t.Fatal(err)
+	}
+	requireKeys(t, "jobs", jobs, statsGolden["jobs"])
+}
+
+// requireKeys demands the exact key set (no additions, no deletions).
+func requireKeys(t *testing.T, path string, obj map[string]json.RawMessage, want []string) {
+	t.Helper()
+	for _, k := range want {
+		if _, ok := obj[k]; !ok {
+			t.Errorf("%s: missing key %q", path, k)
+		}
+	}
+	if len(obj) != len(want) {
+		got := make([]string, 0, len(obj))
+		for k := range obj {
+			got = append(got, k)
+		}
+		t.Errorf("%s: key set changed: got %v, want %v", path, got, want)
+	}
+}
+
+// TestStatsValuesConsistent cross-checks the derived /v1/stats numbers
+// against the traffic that produced them.
+func TestStatsValuesConsistent(t *testing.T) {
+	_, ts, m := newTestServer(t)
+	in := make([]float64, m.InputDim())
+	for i := 0; i < 3; i++ {
+		postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "model-1", Inputs: [][]float64{in}})
+	}
+	getJSON(t, ts.URL+"/v1/does-not-exist", nil)
+
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	b := stats.Batchers["model-1"]
+	if b.Requests != 3 || b.Batches == 0 || b.LargestBatch < 1 || b.MeanBatch <= 0 {
+		t.Fatalf("batcher stats inconsistent: %+v", b)
+	}
+	ep := stats.Endpoints["POST /v1/infer"]
+	if ep.Count != 3 || ep.Latency.Count != 3 || ep.Latency.P95Ms < ep.Latency.P50Ms {
+		t.Fatalf("endpoint stats inconsistent: %+v", ep)
+	}
+	if ep.Latency.MaxMs <= 0 || ep.Latency.MeanMs <= 0 {
+		t.Fatalf("latency summary empty: %+v", ep.Latency)
+	}
+}
+
+// promSample matches one Prometheus text-format sample line.
+var promSample = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*")*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$`)
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, m := newTestServer(t)
+	in := make([]float64, m.InputDim())
+	postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "model-1", Inputs: [][]float64{in}})
+	postJSON(t, ts.URL+"/v1/sim", SimRequest{Policy: "GTS/powersave", Duration: 0.2})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, telemetry.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("invalid Prometheus sample line: %q", line)
+			continue
+		}
+		series[line[:strings.LastIndex(line, " ")]] = true
+	}
+	if len(series) < 15 {
+		t.Fatalf("GET /metrics serves %d distinct series, want >= 15:\n%s", len(series), body)
+	}
+	for _, want := range []string{
+		"serve_uptime_seconds",
+		"serve_jobs_submitted_total",
+		"serve_jobs_queue_depth",
+		`serve_batcher_requests_total{model="model-1"}`,
+		`http_requests_total{route="POST /v1/infer",class="2xx"}`,
+	} {
+		if !series[want] {
+			t.Errorf("missing series %q in /metrics:\n%s", want, body)
+		}
+	}
+
+	// JSON dump variant.
+	var fams []map[string]any
+	r2 := getJSON(t, ts.URL+"/metrics?format=json", &fams)
+	if r2.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("json format Content-Type = %q", r2.Header.Get("Content-Type"))
+	}
+	if len(fams) == 0 {
+		t.Fatal("JSON metrics dump empty")
+	}
+}
+
+func TestTraceEndpointServesRequestSpans(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	getJSON(t, ts.URL+"/v1/healthz", nil)
+	getJSON(t, ts.URL+"/v1/models", nil)
+
+	var events []map[string]any
+	getJSON(t, ts.URL+"/v1/trace", &events)
+	var names []string
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			names = append(names, ev["name"].(string))
+		}
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "GET /v1/healthz") || !strings.Contains(joined, "GET /v1/models") {
+		t.Fatalf("trace missing request spans: %v", names)
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	dir := t.TempDir()
+	writeModel(t, dir, "model-1", []int{21, 32, 8}, 1)
+
+	// Off by default.
+	s := NewServer(Config{ModelsDir: dir, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof served without EnablePprof")
+	}
+	ts.Close()
+	s.Shutdown(context.Background())
+
+	// Mounted when enabled.
+	s2 := NewServer(Config{ModelsDir: dir, Workers: 1, EnablePprof: true})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		s2.Shutdown(context.Background())
+	}()
+	resp2, err := http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index not served when enabled: %d", resp2.StatusCode)
+	}
+}
+
+// TestSharedTelemetryRegistry checks a caller-supplied registry receives
+// the server's families (the topil-serve wiring).
+func TestSharedTelemetryRegistry(t *testing.T) {
+	dir := t.TempDir()
+	writeModel(t, dir, "model-1", []int{21, 32, 8}, 1)
+	reg := telemetry.NewRegistry()
+	s := NewServer(Config{ModelsDir: dir, Workers: 1, Telemetry: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+	}()
+	if s.Telemetry() != reg {
+		t.Fatal("Telemetry() must return the injected registry")
+	}
+	getJSON(t, ts.URL+"/v1/healthz", nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(sb.String(), `http_requests_total{route="GET /v1/healthz",class="2xx"} 1`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("injected registry missing request counter:\n%s", sb.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/platform"
 	"repro/internal/power"
+	"repro/internal/telemetry"
 	"repro/internal/thermal"
 	"repro/internal/workload"
 )
@@ -73,6 +74,22 @@ type Config struct {
 	// WindowTicks is the length of the perf-counter averaging window in
 	// ticks (default 10, i.e. 100 ms).
 	WindowTicks int
+
+	// Telemetry optionally receives the engine's sim_* metric families.
+	// Nil (the default) leaves every counter a nil-receiver no-op, so
+	// deterministic runs pay nothing.
+	Telemetry *telemetry.Registry
+	// Tracer optionally records sim-time spans (run, app lifetimes, DTM
+	// throttle windows, migration instants). The engine installs its own
+	// tick clock on it, so timestamps are simulated seconds and the span
+	// stream is byte-identical across runs and worker counts.
+	Tracer *telemetry.Tracer
+	// PhaseClock optionally enables per-tick phase timings
+	// (sim_phase_seconds). The sim package may not read the wall clock
+	// itself — the detrand rule keeps it deterministic — so profiling
+	// callers inject one (telemetry.NewWallClock). The clock feeds only
+	// the Telemetry registry, never the simulation.
+	PhaseClock telemetry.Clock
 }
 
 // DefaultConfig returns a ready-to-run configuration for the HiKey970 with
@@ -118,6 +135,8 @@ type appState struct {
 	winLen  int
 
 	instrTotal float64 // lifetime instructions (for mean IPS)
+
+	span *telemetry.Span // open lifetime span when tracing, else nil
 }
 
 func (a *appState) meanIPS(now float64) float64 {
@@ -198,6 +217,9 @@ type Engine struct {
 	coreUtil  [][]float64
 	coreUtilN int
 	utilNext  int
+
+	tel   engineMetrics // nil-safe handles; no-ops without Config.Telemetry
+	trace engineTrace   // sim-time spans; no-ops without Config.Tracer
 }
 
 // ticksOf converts a period in seconds to a whole number of Dt ticks
@@ -256,6 +278,11 @@ func New(cfg Config) *Engine {
 	}
 	e.mets = newCollector(cfg.Platform)
 	e.env = &Env{engine: e}
+	e.tel = newEngineMetrics(cfg.Telemetry)
+	e.trace = engineTrace{tracer: cfg.Tracer}
+	// Spans recorded through cfg.Tracer carry simulated seconds: the
+	// tracer's clock is this engine's tick clock from here on.
+	cfg.Tracer.SetClock(telemetry.ClockFunc(func() float64 { return e.now }))
 	return e
 }
 
@@ -318,10 +345,12 @@ func (e *Engine) RunUntil(m Manager, duration float64, stop func() bool) *Result
 	if m != nil {
 		m.Attach(e.env)
 	}
+	e.trace.traceRunStart(e, m)
 	end := e.tick + int64(math.Ceil(duration/e.cfg.Dt-1e-9))
 	for e.tick < end {
 		if m != nil && e.tick%e.managerEvery == 0 {
 			e.managerFires++
+			e.tel.managerTicks.Inc()
 			m.Tick(e.now)
 		}
 		e.step(m)
@@ -329,12 +358,20 @@ func (e *Engine) RunUntil(m Manager, duration float64, stop func() bool) *Result
 			break
 		}
 	}
+	e.trace.traceRunEnd(e)
 	return e.mets.result(e)
 }
 
-// step advances the simulation by one tick.
+// step advances the simulation by one tick. With Config.PhaseClock set,
+// the wall-clock cost of each phase feeds sim_phase_seconds; the clock is
+// never read otherwise, keeping the default path deterministic and free.
 func (e *Engine) step(m Manager) {
 	dt := e.cfg.Dt
+	var mark float64
+	timed := e.cfg.PhaseClock != nil
+	if timed {
+		mark = e.cfg.PhaseClock.Now()
+	}
 
 	// 1. Arrivals.
 	for e.pendHead < len(e.pending) && e.pending[e.pendHead].Arrival <= e.now+1e-9 {
@@ -354,25 +391,48 @@ func (e *Engine) step(m Manager) {
 
 	// 2. Execute applications with per-core time sharing.
 	e.execute(dt)
+	if timed {
+		mark = e.phaseMark(e.tel.phaseExecute, mark)
+	}
 
 	// 3. Power and thermal integration.
 	e.integrate(dt)
+	if timed {
+		mark = e.phaseMark(e.tel.phaseThermal, mark)
+	}
 
 	// 4. Sensor sampling (20 Hz).
 	if e.tick%e.sensorEvery == 0 {
 		e.sensorFires++
+		e.tel.sensorSamples.Inc()
 		e.sensorT = e.readSensor()
+		e.tel.sensorTemp.Set(e.sensorT)
+	}
+	if timed {
+		mark = e.phaseMark(e.tel.phaseSensor, mark)
 	}
 
 	// 5. DTM.
 	if e.cfg.DTM.Enable && e.tick%e.dtmEvery == 0 {
 		e.dtmFires++
+		e.tel.dtmDecisions.Inc()
 		e.dtmStep()
+	}
+	if timed {
+		e.phaseMark(e.tel.phaseDTM, mark)
 	}
 
 	e.mets.sample(e, dt)
 	e.tick++
 	e.now = float64(e.tick) * dt
+}
+
+// phaseMark observes the time since the previous mark into h and returns
+// the new mark.
+func (e *Engine) phaseMark(h *telemetry.Histogram, prev float64) float64 {
+	now := e.cfg.PhaseClock.Now()
+	h.Observe(now - prev)
+	return now
 }
 
 // admit places a newly arrived job on a core and registers it. It panics
@@ -399,6 +459,9 @@ func (e *Engine) admit(job workload.Job, m Manager) {
 	a.arrived = true
 	e.apps = append(e.apps, a)
 	e.byCore[core] = append(e.byCore[core], a.id)
+	e.tel.arrivals.Inc()
+	e.tel.appsRunning.Add(1)
+	e.trace.traceAdmit(e, a)
 }
 
 // leastLoadedCore mimics CFS initial placement: the core with the fewest
@@ -486,6 +549,9 @@ func (e *Engine) execute(dt float64) {
 				a.done = true
 				a.end = e.now + frac*dt
 				e.removeFromCore(a.id, a.core)
+				e.tel.completions.Inc()
+				e.tel.appsRunning.Add(-1)
+				e.trace.traceComplete(a)
 			}
 			a.executed += instr
 			a.instrTotal += instr
@@ -576,7 +642,9 @@ func (e *Engine) dtmStep() {
 	}
 	if e.tripped {
 		e.mets.throttleSeconds += e.cfg.DTM.Period
+		e.tel.throttleSeconds.Add(e.cfg.DTM.Period)
 	}
+	e.trace.traceDTM(e, e.tripped)
 }
 
 // effFreqIdx returns the requested VF level clamped by the DTM cap.
@@ -620,5 +688,7 @@ func (e *Engine) migrate(id AppID, core platform.CoreID) error {
 	ph := a.job.Spec.PhaseAt(a.executed)
 	a.stallUntil = e.now + e.cfg.PenaltyBase + e.cfg.PenaltyPerMPKI*ph.MPKI
 	e.mets.migrations++
+	e.tel.migrations.Inc()
+	e.trace.traceMigrate(e, id, int(core))
 	return nil
 }

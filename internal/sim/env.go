@@ -112,6 +112,9 @@ func (v *Env) SetClusterFreqIndex(ci, idx int) {
 	if idx >= c.NumOPPs() {
 		idx = c.NumOPPs() - 1
 	}
+	if v.engine.freqIdx[ci] != idx {
+		v.engine.tel.dvfsChanges.Inc()
+	}
 	v.engine.freqIdx[ci] = idx
 }
 

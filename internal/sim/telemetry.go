@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// engineMetrics holds the engine's telemetry handles, resolved once in
+// New. With no Registry configured every handle is nil and each call
+// site is a nil-receiver no-op — the deterministic hot path pays a
+// branch, never a lock or an allocation.
+type engineMetrics struct {
+	managerTicks    *telemetry.Counter
+	sensorSamples   *telemetry.Counter
+	dtmDecisions    *telemetry.Counter
+	migrations      *telemetry.Counter
+	dvfsChanges     *telemetry.Counter
+	throttleSeconds *telemetry.Counter
+	arrivals        *telemetry.Counter
+	completions     *telemetry.Counter
+	sensorTemp      *telemetry.Gauge
+	appsRunning     *telemetry.Gauge
+
+	// Per-tick phase timings, observed only when Config.PhaseClock is set
+	// (the sim package may not read the wall clock itself — detrand — so
+	// the caller injects one when profiling a run).
+	phaseExecute *telemetry.Histogram
+	phaseThermal *telemetry.Histogram
+	phaseSensor  *telemetry.Histogram
+	phaseDTM     *telemetry.Histogram
+}
+
+// phaseBuckets resolve tick-phase costs from 100 ns to ~3 ms.
+var phaseBuckets = telemetry.ExpBuckets(1e-7, 2, 15)
+
+// newEngineMetrics resolves the sim_* families. A nil registry yields
+// all-nil handles (the no-op state).
+func newEngineMetrics(reg *telemetry.Registry) engineMetrics {
+	if reg == nil {
+		return engineMetrics{}
+	}
+	phase := reg.HistogramVec("sim_phase_seconds",
+		"wall-clock cost per engine tick phase (needs Config.PhaseClock)",
+		phaseBuckets, "phase")
+	return engineMetrics{
+		managerTicks: reg.Counter("sim_manager_ticks_total",
+			"manager policy invocations"),
+		sensorSamples: reg.Counter("sim_sensor_samples_total",
+			"thermal sensor samples taken"),
+		dtmDecisions: reg.Counter("sim_dtm_decisions_total",
+			"dynamic thermal management decisions evaluated"),
+		migrations: reg.Counter("sim_migrations_total",
+			"application migrations applied"),
+		dvfsChanges: reg.Counter("sim_dvfs_changes_total",
+			"cluster VF level changes requested via the userspace governor"),
+		throttleSeconds: reg.Counter("sim_throttle_seconds_total",
+			"simulated seconds spent DTM-throttled"),
+		arrivals: reg.Counter("sim_app_arrivals_total",
+			"applications admitted"),
+		completions: reg.Counter("sim_app_completions_total",
+			"applications run to completion"),
+		sensorTemp: reg.Gauge("sim_sensor_temp_celsius",
+			"latest thermal sensor sample"),
+		appsRunning: reg.Gauge("sim_apps_running",
+			"applications currently running"),
+		phaseExecute: phase.With("execute"),
+		phaseThermal: phase.With("thermal"),
+		phaseSensor:  phase.With("sensor"),
+		phaseDTM:     phase.With("dtm"),
+	}
+}
+
+// engineTrace is the engine's sim-time span bookkeeping. The tracer's
+// clock is the engine's integer tick clock, so spans carry simulated
+// seconds: byte-identical across runs and worker counts by construction.
+type engineTrace struct {
+	tracer   *telemetry.Tracer
+	run      *telemetry.Span // one per RunUntil
+	throttle *telemetry.Span // open while DTM is tripped
+}
+
+// traceAdmit opens an application-lifetime span (closed at completion or
+// at run end). No-op without a tracer.
+func (t *engineTrace) traceAdmit(e *Engine, a *appState) {
+	if t.tracer == nil {
+		return
+	}
+	a.span = t.tracer.StartAt(spanName("app/", a.job.Spec.Name, int(a.id)), e.now)
+}
+
+// traceComplete closes an application span at its sub-tick completion
+// time.
+func (t *engineTrace) traceComplete(a *appState) {
+	if t.tracer == nil || a.span == nil {
+		return
+	}
+	a.span.EndAt(a.end)
+	a.span = nil
+}
+
+// traceMigrate records a migration instant.
+func (t *engineTrace) traceMigrate(e *Engine, id AppID, core int) {
+	if t.tracer == nil {
+		return
+	}
+	t.tracer.InstantAt(spanName("migrate/app", "", int(id))+">core"+strconv.Itoa(core), e.now)
+}
+
+// traceDTM opens and closes the throttle-window span on trip state
+// transitions.
+func (t *engineTrace) traceDTM(e *Engine, tripped bool) {
+	if t.tracer == nil {
+		return
+	}
+	switch {
+	case tripped && t.throttle == nil:
+		t.throttle = t.tracer.StartAt("dtm/throttle", e.now)
+	case !tripped && t.throttle != nil:
+		t.throttle.EndAt(e.now)
+		t.throttle = nil
+	}
+}
+
+// traceRunStart opens the root span for one RunUntil call.
+func (t *engineTrace) traceRunStart(e *Engine, m Manager) {
+	if t.tracer == nil {
+		return
+	}
+	name := "run/unmanaged"
+	if m != nil {
+		name = "run/" + m.Name()
+	}
+	t.run = t.tracer.StartAt(name, e.now)
+}
+
+// traceRunEnd closes the root span and any span still open — app
+// lifetimes that outlive the run, an active throttle window — at the
+// current simulated time, so the trace file is well-formed.
+func (t *engineTrace) traceRunEnd(e *Engine) {
+	if t.tracer == nil {
+		return
+	}
+	for _, a := range e.apps {
+		if a.span != nil {
+			a.span.EndAt(e.now)
+			a.span = nil
+		}
+	}
+	if t.throttle != nil {
+		t.throttle.EndAt(e.now)
+		t.throttle = nil
+	}
+	if t.run != nil {
+		t.run.EndAt(e.now)
+		t.run = nil
+	}
+}
+
+// spanName builds "prefix[name#]id" without fmt (hot-ish path when
+// tracing).
+func spanName(prefix, name string, id int) string {
+	if name == "" {
+		return prefix + strconv.Itoa(id)
+	}
+	return prefix + name + "#" + strconv.Itoa(id)
+}

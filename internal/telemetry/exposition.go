@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type of the Prometheus text exposition
+// format produced by WritePrometheus.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every family in the registry in the Prometheus
+// text exposition format, version 0.0.4: a `# HELP` and `# TYPE` header
+// per family, then one line per child series, families sorted by name and
+// children sorted by label values, so consecutive scrapes of a quiescent
+// registry are byte-identical. Nil registries write nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			bw.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n")
+		}
+		bw.WriteString("# TYPE " + f.name + " " + f.kind.String() + "\n")
+		if f.kind == kindGaugeFunc {
+			f.mu.RLock()
+			fn := f.fn
+			f.mu.RUnlock()
+			v := 0.0
+			if fn != nil {
+				v = fn()
+			}
+			bw.WriteString(f.name + " " + formatFloat(v) + "\n")
+			continue
+		}
+		for _, e := range f.sortedChildren() {
+			labels := decodeLabelKey(e.key)
+			switch m := e.metric.(type) {
+			case *Counter:
+				bw.WriteString(seriesLine(f.name, f.labelNames, labels, "", "", m.Value()))
+			case *Gauge:
+				bw.WriteString(seriesLine(f.name, f.labelNames, labels, "", "", m.Value()))
+			case *Histogram:
+				bounds, cum := m.Buckets()
+				for i, b := range bounds {
+					bw.WriteString(seriesLine(f.name+"_bucket", f.labelNames, labels,
+						"le", formatFloat(b), float64(cum[i])))
+				}
+				bw.WriteString(seriesLine(f.name+"_bucket", f.labelNames, labels,
+					"le", "+Inf", float64(m.Count())))
+				bw.WriteString(seriesLine(f.name+"_sum", f.labelNames, labels, "", "", m.Sum()))
+				bw.WriteString(seriesLine(f.name+"_count", f.labelNames, labels, "", "", float64(m.Count())))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// seriesLine renders one sample line, appending an extra label (used for
+// histogram `le`) when extraName is non-empty.
+func seriesLine(name string, labelNames, labelValues []string, extraName, extraValue string, v float64) string {
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labelNames) > 0 || extraName != "" {
+		sb.WriteByte('{')
+		first := true
+		for i, ln := range labelNames {
+			if !first {
+				sb.WriteByte(',')
+			}
+			first = false
+			sb.WriteString(ln)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(labelValues[i]))
+			sb.WriteByte('"')
+		}
+		if extraName != "" {
+			if !first {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(extraName)
+			sb.WriteString(`="`)
+			sb.WriteString(extraValue)
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatFloat(v))
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest round-trip representation, with special cases spelled +Inf,
+// -Inf and NaN.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes a HELP text per the text format: backslash and
+// newline only.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// jsonSeries is one series in the JSON dump.
+type jsonSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Count  *uint64           `json:"count,omitempty"`
+	Sum    *float64          `json:"sum,omitempty"`
+	Max    *float64          `json:"max,omitempty"`
+}
+
+// jsonFamily is one metric family in the JSON dump.
+type jsonFamily struct {
+	Name   string       `json:"name"`
+	Type   string       `json:"type"`
+	Help   string       `json:"help,omitempty"`
+	Series []jsonSeries `json:"series"`
+}
+
+// WriteJSON writes the registry as an indented JSON array of families,
+// sorted like WritePrometheus, for quick inspection without a Prometheus
+// parser (`GET /metrics?format=json` on the serving layer). Nil registries
+// write an empty array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	fams := []jsonFamily{}
+	if r != nil {
+		for _, f := range r.sortedFamilies() {
+			jf := jsonFamily{Name: f.name, Type: f.kind.String(), Help: f.help, Series: []jsonSeries{}}
+			if f.kind == kindGaugeFunc {
+				f.mu.RLock()
+				fn := f.fn
+				f.mu.RUnlock()
+				v := 0.0
+				if fn != nil {
+					v = fn()
+				}
+				jf.Series = append(jf.Series, jsonSeries{Value: &v})
+				fams = append(fams, jf)
+				continue
+			}
+			for _, e := range f.sortedChildren() {
+				s := jsonSeries{}
+				if len(f.labelNames) > 0 {
+					s.Labels = map[string]string{}
+					for i, v := range decodeLabelKey(e.key) {
+						s.Labels[f.labelNames[i]] = v
+					}
+				}
+				switch m := e.metric.(type) {
+				case *Counter:
+					v := m.Value()
+					s.Value = &v
+				case *Gauge:
+					v := m.Value()
+					s.Value = &v
+				case *Histogram:
+					c, sum, mx := m.Count(), m.Sum(), m.Max()
+					s.Count, s.Sum, s.Max = &c, &sum, &mx
+				}
+				jf.Series = append(jf.Series, s)
+			}
+			fams = append(fams, jf)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fams)
+}

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// promLine matches one valid Prometheus text-format sample line.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*")*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$`)
+
+func buildSample() *Registry {
+	r := NewRegistry()
+	r.Counter("alpha_total", "a counter").Add(3)
+	r.Gauge("beta", "a gauge").Set(-1.5)
+	r.GaugeFunc("gamma", "a gauge func", func() float64 { return 9 })
+	h := r.Histogram("delta_seconds", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	cv := r.CounterVec("eps_total", "labelled", "route", "class")
+	cv.With("/v1/infer", "2xx").Add(7)
+	cv.With("/v1/sim", "5xx").Inc()
+	return r
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := buildSample()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var series int
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid sample line: %q", line)
+		}
+		series++
+	}
+	// alpha(1) + beta(1) + gamma(1) + delta(2 buckets + Inf + sum + count = 5) + eps(2)
+	if series != 10 {
+		t.Fatalf("got %d series, want 10:\n%s", series, out)
+	}
+	for _, want := range []string{
+		"# TYPE alpha_total counter",
+		"# HELP alpha_total a counter",
+		"# TYPE beta gauge",
+		"# TYPE gamma gauge",
+		"# TYPE delta_seconds histogram",
+		`delta_seconds_bucket{le="0.1"} 1`,
+		`delta_seconds_bucket{le="1"} 2`,
+		`delta_seconds_bucket{le="+Inf"} 3`,
+		"delta_seconds_sum 5.55",
+		"delta_seconds_count 3",
+		`eps_total{route="/v1/infer",class="2xx"} 7`,
+		`eps_total{route="/v1/sim",class="5xx"} 1`,
+		"beta -1.5",
+		"gamma 9",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: a second scrape of a quiescent registry is identical.
+	var sb2 strings.Builder
+	r.WritePrometheus(&sb2)
+	if sb2.String() != out {
+		t.Fatal("two scrapes of a quiescent registry differ")
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "line1\nline2 \\ end", "tag").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# HELP esc_total line1\nline2 \\ end`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{tag="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	if formatFloat(math.Inf(1)) != "+Inf" || formatFloat(math.Inf(-1)) != "-Inf" || formatFloat(math.NaN()) != "NaN" {
+		t.Fatal("special float formatting wrong")
+	}
+	if formatFloat(0.25) != "0.25" {
+		t.Fatalf("formatFloat(0.25) = %q", formatFloat(0.25))
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := buildSample()
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var fams []struct {
+		Name   string `json:"name"`
+		Type   string `json:"type"`
+		Series []struct {
+			Labels map[string]string `json:"labels"`
+			Value  *float64          `json:"value"`
+			Count  *uint64           `json:"count"`
+			Sum    *float64          `json:"sum"`
+			Max    *float64          `json:"max"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &fams); err != nil {
+		t.Fatalf("JSON dump does not parse: %v\n%s", err, sb.String())
+	}
+	if len(fams) != 5 {
+		t.Fatalf("got %d families, want 5", len(fams))
+	}
+	// Families are sorted by name.
+	for i := 1; i < len(fams); i++ {
+		if fams[i-1].Name > fams[i].Name {
+			t.Fatalf("families not sorted: %s > %s", fams[i-1].Name, fams[i].Name)
+		}
+	}
+	byName := map[string]int{}
+	for i, f := range fams {
+		byName[f.Name] = i
+	}
+	d := fams[byName["delta_seconds"]]
+	if d.Type != "histogram" || d.Series[0].Count == nil || *d.Series[0].Count != 3 {
+		t.Fatalf("histogram JSON wrong: %+v", d)
+	}
+	e := fams[byName["eps_total"]]
+	if len(e.Series) != 2 || e.Series[0].Labels["route"] == "" {
+		t.Fatalf("labelled JSON wrong: %+v", e)
+	}
+	// Nil registry writes a valid empty array.
+	var nilR *Registry
+	var sb2 strings.Builder
+	if err := nilR.WriteJSON(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb2.String()) != "[]" {
+		t.Fatalf("nil registry JSON = %q, want []", sb2.String())
+	}
+}

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Default verify flow: build + vet + lint + tests + race pass over the
-# concurrent packages. `scripts/check.sh smoke` additionally boots topil-serve and
-# drives one infer + sim round trip over HTTP, then drains it with SIGINT.
+# concurrent packages + coverage gate + sim-time trace determinism.
+# `scripts/check.sh smoke` additionally boots topil-serve and drives one
+# infer + sim round trip over HTTP, scrapes /metrics, then drains it with
+# SIGINT.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -39,10 +41,34 @@ if [ "${1:-}" = "smoke" ]; then
     done
     [ "$state" = "done" ] || { echo "sim job stuck in state '$state'"; exit 1; }
 
+    # The metrics page must be valid Prometheus text with a non-trivial
+    # number of series: every line is a comment or `name{labels} value`,
+    # and the layers exercised above (http, batcher, jobs, npu, nn) must
+    # all have surfaced families. See docs/OBSERVABILITY.md.
+    page=$(curl -sf "http://$addr/metrics")
+    # Label values may contain anything (e.g. route="/v1/jobs/{id}"), so
+    # validate shape with awk: name charset at the front, a numeric sample
+    # at the end.
+    counts=$(printf '%s\n' "$page" | awk '
+        /^#/ || /^$/ { next }
+        { series++
+          if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*([{ ])/ ||
+              $NF !~ /^-?([0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$/)
+              bad++ }
+        END { printf "%d %d", series, bad }')
+    series=${counts% *}
+    bad=${counts#* }
+    [ "$series" -ge 15 ] || { echo "/metrics: only $series series"; exit 1; }
+    [ "$bad" -eq 0 ] || { echo "/metrics: $bad malformed lines"; exit 1; }
+    for fam in http_requests_total serve_batcher_requests_total \
+        serve_jobs_finished_total npu_inferences_total nn_forward_passes_total; do
+        printf '%s\n' "$page" | grep -q "^$fam" || { echo "/metrics: missing $fam"; exit 1; }
+    done
+
     kill -INT "$pid"
     wait "$pid" || { echo "server did not drain cleanly"; exit 1; }
     pid=""
-    echo "serve smoke OK (infer + sim round trip + graceful drain)"
+    echo "serve smoke OK (infer + sim round trip + /metrics + graceful drain)"
     exit 0
 fi
 
@@ -54,13 +80,21 @@ echo "== topil-lint ./..."
 go run ./cmd/topil-lint ./...
 echo "== go test ./..."
 go test ./...
-echo "== go test -race (serve, npu, nn, workload, sim)"
+echo "== go test -race (serve, npu, nn, workload, sim, telemetry)"
 go test -race ./internal/serve/... ./internal/npu/... ./internal/nn/... \
-    ./internal/workload/... ./internal/sim/...
+    ./internal/workload/... ./internal/sim/... ./internal/telemetry/...
 echo "== go test -race -short (experiments)"
 go test -race -short ./internal/experiments/...
 echo "== coverage gate"
 ./scripts/coverage_gate.sh
-echo "== topil-experiments -j 8 smoke (parallel executor)"
-go run ./cmd/topil-experiments -quick -fig fig1 -j 8 >/dev/null
+echo "== topil-experiments trace determinism (-j 1 vs -j 8)"
+# Sim-time traces must be byte-identical regardless of worker count: the
+# spans carry simulated timestamps and the writer orders tracers by name,
+# so scheduling may not leak into the file. See docs/OBSERVABILITY.md.
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/topil-experiments -quick -fig fig1 -j 1 -trace "$tracedir/j1.json" >/dev/null
+go run ./cmd/topil-experiments -quick -fig fig1 -j 8 -trace "$tracedir/j8.json" >/dev/null
+cmp "$tracedir/j1.json" "$tracedir/j8.json" || {
+    echo "trace determinism: -j 1 and -j 8 traces differ"; exit 1; }
 echo "all checks passed"
