@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race cover fuzz serve-smoke bench
+.PHONY: check build vet lint test race cover fuzz serve-smoke cluster-smoke bench bench-serve
 
 check: build vet lint test race cover
 
@@ -29,8 +29,8 @@ test:
 # detector's ~20x slowdown doesn't blow the test timeout on the full
 # oracle+training pipeline; its artifact and concurrency tests still run.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/npu/... ./internal/nn/... \
-		./internal/workload/... ./internal/sim/... ./internal/telemetry/...
+	$(GO) test -race ./internal/serve/... ./internal/cluster/... ./internal/npu/... \
+		./internal/nn/... ./internal/workload/... ./internal/sim/... ./internal/telemetry/...
 	$(GO) test -race -short ./internal/experiments/...
 
 # Coverage gate: statement coverage of the serving, simulation, telemetry
@@ -44,12 +44,24 @@ cover:
 fuzz:
 	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzEngineChaos$$' -fuzztime=10s
 	$(GO) test ./internal/workload -run '^$$' -fuzz '^FuzzJobEntries$$' -fuzztime=10s
+	$(GO) test ./internal/cluster -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime=10s
 
 # Quick end-to-end: build the service and exercise one infer round trip.
 serve-smoke:
 	./scripts/check.sh smoke
 
+# Cluster end-to-end: 3 journal-backed replicas behind the router, a
+# loadgen burst, one replica SIGKILLed mid-run (zero 5xx allowed), and a
+# job-store recovery check. See docs/CLUSTER.md.
+cluster-smoke:
+	./scripts/check.sh cluster-smoke
+
 # Measure the experiment executor's parallel speedup (sequential vs -j N
 # wall-clock over the multi-cell figures) into BENCH_experiments.json.
 bench:
 	$(GO) run ./scripts/benchexp -out BENCH_experiments.json
+
+# Measure the serving stack's horizontal scaling (1 vs 4 device-paced
+# replicas behind the router, closed-loop /v1/infer) into BENCH_serve.json.
+bench-serve:
+	$(GO) run ./scripts/benchserve -out BENCH_serve.json

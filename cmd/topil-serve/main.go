@@ -22,6 +22,13 @@
 // default: profiling endpoints can stall a loaded server and leak
 // internals, so exposing them is an explicit operator decision).
 //
+// -store DIR journals every job transition to DIR so accepted jobs
+// survive a crash: restart with the same -store and interrupted jobs
+// re-execute. This is the per-replica durability layer behind
+// topil-cluster (see docs/CLUSTER.md). -pace-device makes the inference
+// batcher occupy the modelled NPU for each batch's device latency, so a
+// replica behaves like it owns one real accelerator.
+//
 // On SIGINT/SIGTERM the server stops accepting work and drains: accepted
 // inference requests are answered and in-flight simulation jobs run to
 // completion until -drain expires, at which point they are canceled.
@@ -40,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -64,6 +72,8 @@ func run() error {
 		inferCap  = flag.Int("infer-queue", 256, "pending inference submissions bound")
 		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
 		pprof     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		storeDir  = flag.String("store", "", "durable job store directory (empty: jobs are in-memory only)")
+		paceDev   = flag.Bool("pace-device", false, "occupy the modelled NPU for each batch's device latency")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -87,15 +97,32 @@ func run() error {
 	reg := telemetry.NewRegistry()
 	telemetry.Install(reg)
 
+	// A journal-backed store makes accepted jobs survive a crash: on
+	// restart over the same -store directory the runner replays the
+	// journal and re-executes anything that never reached a terminal
+	// state.
+	var store serve.JobStore
+	if *storeDir != "" {
+		js, err := cluster.OpenJournalStore(*storeDir)
+		if err != nil {
+			return fmt.Errorf("job store: %v", err)
+		}
+		defer js.Close()
+		store = js
+		log.Printf("journaling jobs to %s", *storeDir)
+	}
+
 	srv := serve.NewServer(serve.Config{
 		ModelsDir: *models,
 		Workers:   *workers,
 		QueueCap:  *queueCap,
 		Batch: serve.BatcherConfig{
-			MaxBatch: *batchMax,
-			MaxWait:  *batchWait,
-			QueueCap: *inferCap,
+			MaxBatch:   *batchMax,
+			MaxWait:    *batchWait,
+			QueueCap:   *inferCap,
+			PaceDevice: *paceDev,
 		},
+		Store:       store,
 		Telemetry:   reg,
 		EnablePprof: *pprof,
 	})

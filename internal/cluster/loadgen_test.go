@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRunLoadOpenLoop(t *testing.T) {
+	f := newFakeReplica()
+	defer f.ts.Close()
+	for _, shape := range []string{ShapeConstant, ShapeBurst, ShapeDiurnal} {
+		t.Run(shape, func(t *testing.T) {
+			rep, err := RunLoad(context.Background(), LoadConfig{
+				URL:      f.ts.URL,
+				Model:    "model-1",
+				InputDim: 4,
+				QPS:      300,
+				Duration: 300 * time.Millisecond,
+				Shape:    shape,
+				Seed:     7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Offered == 0 || rep.Sent == 0 || rep.OK == 0 {
+				t.Fatalf("no load generated: %+v", rep)
+			}
+			if rep.Offered < rep.Sent+rep.Overrun {
+				t.Errorf("bookkeeping leak: offered=%d sent=%d overrun=%d",
+					rep.Offered, rep.Sent, rep.Overrun)
+			}
+			if uint64(rep.OK) != rep.Latency.Count {
+				t.Errorf("latency count %d != ok %d", rep.Latency.Count, rep.OK)
+			}
+			if rep.Latency.P99Ms < rep.Latency.P50Ms {
+				t.Errorf("quantiles inverted: %+v", rep.Latency)
+			}
+			if rep.ServerErrs != 0 || rep.NetErrs != 0 {
+				t.Errorf("errors against a healthy fake: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestRunLoadClosedLoopHonorsRetryAfter is the satellite contract: a
+// closed-loop client that gets 429 + Retry-After backs off for the
+// hinted interval instead of hammering.
+func TestRunLoadClosedLoopHonorsRetryAfter(t *testing.T) {
+	f := newFakeReplica()
+	defer f.ts.Close()
+	f.mu.Lock()
+	f.infer429 = true
+	f.mu.Unlock()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		URL:         f.ts.URL,
+		Model:       "model-1",
+		InputDim:    4,
+		Mode:        ModeClosed,
+		Concurrency: 3,
+		Duration:    300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 || rep.RetryWaits == 0 {
+		t.Fatalf("Retry-After not honored: %+v", rep)
+	}
+	// Each worker sheds once, then sleeps out the 1s hint past the 300ms
+	// deadline: the request count stays at roughly one per worker — a
+	// client that ignored the hint would have sent hundreds.
+	if rep.Sent > 3*3 {
+		t.Fatalf("closed loop hammered through Retry-After: %d requests", rep.Sent)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	bad := []LoadConfig{
+		{},                     // no URL
+		{URL: "x"},             // no model
+		{URL: "x", Model: "m"}, // no input dim
+		{URL: "x", Model: "m", InputDim: 3, Mode: "looped"},
+		{URL: "x", Model: "m", InputDim: 3, Shape: "square"},
+	}
+	for i, cfg := range bad {
+		if _, err := RunLoad(context.Background(), cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestShapeFactor(t *testing.T) {
+	for _, shape := range []string{ShapeConstant, ShapeBurst, ShapeDiurnal} {
+		for frac := 0.0; frac < 1; frac += 0.01 {
+			f := shapeFactor(shape, frac)
+			if f < 0.2-1e-9 || f > 3+1e-9 {
+				t.Fatalf("shape %s factor %g at frac %g out of range", shape, f, frac)
+			}
+		}
+	}
+	if shapeFactor(ShapeBurst, 0.01) != 3 {
+		t.Error("burst does not start high")
+	}
+	if shapeFactor(ShapeConstant, 0.5) != 1 {
+		t.Error("constant is not 1")
+	}
+}

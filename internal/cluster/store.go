@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/serve"
+)
+
+// Journal file layout inside a store directory:
+//
+//	journal.log    one "<crc32 hex> <record json>\n" line per Append
+//	snapshot.json  JSON array of folded records, rewritten by Compact
+//
+// Append is fsynced before it returns, so a record the runner journaled is
+// on disk before the state transition becomes observable over HTTP — the
+// "202 implies durable" contract. The snapshot is replaced atomically
+// (write temp, fsync, rename, fsync dir), so a crash mid-compaction
+// leaves either the old or the new snapshot, never a torn one.
+const (
+	journalName  = "journal.log"
+	snapshotName = "snapshot.json"
+)
+
+// DefaultCompactEvery is the journal length that triggers auto-compaction.
+const DefaultCompactEvery = 1024
+
+// JournalStore is the durable serve.JobStore: an append-only CRC-guarded
+// journal plus a compacting snapshot. It tolerates the crash modes a
+// SIGKILLed replica produces — a torn final line is truncated on the next
+// open, records whose CRC does not match are cut off (everything after an
+// unreadable record is untrusted, since ordering is the journal's whole
+// point), and a missing journal or snapshot is simply empty history.
+//
+// Close freezes the store: subsequent Appends fail. Replica.Kill closes
+// the store *first*, so an in-process "crash" cannot journal terminal
+// records for jobs that were mid-flight — exactly what a real power loss
+// looks like to the journal.
+type JournalStore struct {
+	dir string
+
+	mu           sync.Mutex
+	f            *os.File
+	closed       bool
+	compactEvery int
+	snapshot     []serve.JobRecord // folded records as of the last compaction
+	tail         []serve.JobRecord // journal records since the snapshot
+}
+
+// OpenJournalStore opens (creating if needed) the store in dir, replaying
+// the snapshot and journal and truncating any torn journal tail.
+func OpenJournalStore(dir string) (*JournalStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: store dir: %w", err)
+	}
+	s := &JournalStore{dir: dir, compactEvery: DefaultCompactEvery}
+
+	snapPath := filepath.Join(dir, snapshotName)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		if err := json.Unmarshal(data, &s.snapshot); err != nil {
+			return nil, fmt.Errorf("cluster: corrupt snapshot %s: %w", snapPath, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("cluster: reading snapshot: %w", err)
+	}
+
+	jPath := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(jPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("cluster: reading journal: %w", err)
+	}
+	recs, good := ParseJournal(data)
+	s.tail = recs
+	if good < len(data) {
+		// Torn or corrupt tail: truncate to the last intact record so the
+		// next append starts a clean line.
+		if err := os.Truncate(jPath, int64(good)); err != nil {
+			return nil, fmt.Errorf("cluster: truncating torn journal: %w", err)
+		}
+	}
+
+	f, err := os.OpenFile(jPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening journal: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// ParseJournal decodes journal bytes into the records of every intact
+// line, returning how many leading bytes were consumed by them. The first
+// malformed line — torn (no newline), bad CRC, bad JSON, or a record
+// without an ID — ends the parse: everything after it is untrusted. It is
+// a pure function so FuzzJournalReplay can hammer it directly.
+func ParseJournal(data []byte) (recs []serve.JobRecord, good int) {
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn final line
+		}
+		line := data[off : off+nl]
+		rec, ok := parseJournalLine(line)
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+		good = off
+	}
+	return recs, good
+}
+
+// parseJournalLine decodes one "<crc32 hex> <json>" line.
+func parseJournalLine(line []byte) (serve.JobRecord, bool) {
+	var rec serve.JobRecord
+	sp := bytes.IndexByte(line, ' ')
+	if sp != 8 { // crc32 is always 8 hex digits
+		return rec, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:sp]), "%08x", &want); err != nil {
+		return rec, false
+	}
+	payload := line[sp+1:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return rec, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, false
+	}
+	if rec.ID == "" {
+		return rec, false
+	}
+	return rec, true
+}
+
+// appendJournalLine renders one record in the journal line format.
+func appendJournalLine(buf []byte, rec serve.JobRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return buf, err
+	}
+	buf = append(buf, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload))...)
+	buf = append(buf, payload...)
+	buf = append(buf, '\n')
+	return buf, nil
+}
+
+// SetCompactEvery adjusts the auto-compaction threshold (records in the
+// journal since the last snapshot). n <= 0 disables auto-compaction.
+func (s *JournalStore) SetCompactEvery(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compactEvery = n
+}
+
+// Dir returns the store directory.
+func (s *JournalStore) Dir() string { return s.dir }
+
+// Append journals one record durably: the line is written and fsynced
+// before Append returns. Implements serve.JobStore.
+func (s *JournalStore) Append(rec serve.JobRecord) error {
+	if rec.ID == "" {
+		return fmt.Errorf("cluster: journal record without an ID")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("cluster: journal store is closed")
+	}
+	line, err := appendJournalLine(nil, rec)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding journal record: %w", err)
+	}
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("cluster: appending journal: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("cluster: syncing journal: %w", err)
+	}
+	s.tail = append(s.tail, rec)
+	if s.compactEvery > 0 && len(s.tail) >= s.compactEvery {
+		if err := s.compactLocked(); err != nil {
+			// The journal itself is intact; compaction will be retried on
+			// the next threshold crossing or at the next open.
+			return nil
+		}
+	}
+	return nil
+}
+
+// Replay returns every surviving record in append order (snapshot records
+// first — each is one job's folded history — then the journal tail).
+// Implements serve.JobStore.
+func (s *JournalStore) Replay() ([]serve.JobRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]serve.JobRecord, 0, len(s.snapshot)+len(s.tail))
+	out = append(out, s.snapshot...)
+	out = append(out, s.tail...)
+	return out, nil
+}
+
+// Compact folds the journal into the snapshot: one record per job holding
+// its request and final observed state, written atomically, after which
+// the journal is truncated. Bounded restart cost no matter how many
+// transitions the replica has journaled.
+func (s *JournalStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("cluster: journal store is closed")
+	}
+	return s.compactLocked()
+}
+
+// compactLocked does the work of Compact. Callers hold s.mu.
+func (s *JournalStore) compactLocked() error {
+	folded := foldForSnapshot(append(append([]serve.JobRecord(nil), s.snapshot...), s.tail...))
+	data, err := json.MarshalIndent(folded, "", " ")
+	if err != nil {
+		return fmt.Errorf("cluster: encoding snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot temp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cluster: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("cluster: installing snapshot: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("cluster: syncing store dir: %w", err)
+	}
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("cluster: truncating journal: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("cluster: syncing truncated journal: %w", err)
+	}
+	s.snapshot = folded
+	s.tail = nil
+	return nil
+}
+
+// foldForSnapshot reduces records to one per job, in first-appearance
+// order: the queued request plus the last observed state and outcome.
+// Records for jobs whose queued record was lost carry nothing recoverable
+// and are dropped (the runner-side fold does the same on replay).
+func foldForSnapshot(recs []serve.JobRecord) []serve.JobRecord {
+	byID := make(map[string]*serve.JobRecord)
+	var order []string
+	for _, rec := range recs {
+		j, ok := byID[rec.ID]
+		if !ok {
+			if rec.Req == nil {
+				continue
+			}
+			cp := rec
+			byID[rec.ID] = &cp
+			order = append(order, rec.ID)
+			continue
+		}
+		j.State = rec.State
+		if rec.Req != nil {
+			j.Req = rec.Req
+		}
+		if rec.Err != "" {
+			j.Err = rec.Err
+		}
+		if rec.Result != nil {
+			j.Result = rec.Result
+		}
+	}
+	out := make([]serve.JobRecord, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out
+}
+
+// JournalLen returns the number of records in the journal tail (since the
+// last compaction) — observability for tests and topil-cluster.
+func (s *JournalStore) JournalLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tail)
+}
+
+// Close freezes the store (Appends fail from here on) and releases the
+// journal file. Closing twice is fine. Replica.Kill uses Close as the
+// crash barrier: nothing can reach the journal after it.
+func (s *JournalStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

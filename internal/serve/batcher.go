@@ -38,6 +38,23 @@ type BatcherConfig struct {
 	// the queue fills, and Submit starts rejecting: end-to-end
 	// backpressure instead of unbounded dispatch goroutines.
 	MaxInflight int
+	// PaceDevice, when set, holds a batch's device slot for the modelled
+	// device latency of the invocation: the batcher then behaves like a
+	// replica that owns a real accelerator whose invocations occupy the
+	// device, so MaxInflight bounds genuine device-level concurrency and
+	// per-replica throughput saturates at the device's service rate.
+	// Serving benchmarks enable this so replica counts are meaningful on
+	// one machine; off by default (pure-compute batches, the historical
+	// behaviour).
+	PaceDevice bool
+	// PaceScale emulates an accelerator PaceScale times slower than the
+	// modelled NPU when PaceDevice is set: the effective device latency
+	// (both the paced slot occupancy and the reported per-batch device
+	// time) is Latency(batch) * PaceScale. Values <= 1 leave the modelled
+	// timing untouched. Benchmarks on core-starved machines use this to
+	// keep replicas device-bound, so horizontal scaling is measurable
+	// where raw HTTP throughput would otherwise hide it.
+	PaceScale float64
 	// Registry receives the batcher's metric families (serve_batcher_*),
 	// labelled by Name. Nil gets a private registry, so Stats works for
 	// standalone batchers.
@@ -318,9 +335,19 @@ func (b *Batcher) flush(batch []batchReq, full bool) {
 			ins[i] = r.in
 		}
 		outs, err := b.runBatch(ins)
+		modelled := b.backend.Latency(len(batch))
+		if b.cfg.PaceDevice && b.cfg.PaceScale > 1 {
+			modelled = time.Duration(float64(modelled) * b.cfg.PaceScale)
+		}
 		var dev time.Duration
 		if err == nil {
-			dev = b.backend.Latency(len(batch))
+			dev = modelled
+		}
+		if b.cfg.PaceDevice {
+			// Occupy the device for the modelled invocation cost before
+			// results are delivered or the slot is released — the real
+			// accelerator's timeline.
+			time.Sleep(modelled)
 		}
 		rowErrs := 0
 		for i, r := range batch {
@@ -373,6 +400,13 @@ func (b *Batcher) Close() {
 	b.collector.Wait()
 	b.inflight.Wait()
 }
+
+// QueueDepth returns the number of submissions waiting for a batch — the
+// signal behind Retry-After hints and the cluster router's load shedding.
+func (b *Batcher) QueueDepth() int { return len(b.reqs) }
+
+// QueueCap returns the submission queue capacity.
+func (b *Batcher) QueueCap() int { return b.cfg.QueueCap }
 
 // Stats returns a snapshot of the coalescing counters, derived from the
 // batcher's telemetry handles in the JSON shape /v1/stats has always

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
@@ -245,6 +247,14 @@ func (j *Job) State() JobState {
 	return j.state
 }
 
+// ErrConflict marks a submission reusing an existing job ID; the HTTP
+// layer maps it to 409.
+var ErrConflict = errors.New("serve: job id already exists")
+
+// ErrDraining marks work refused because the replica is draining (POST
+// /v1/drain); the HTTP layer maps it to 503 with a Retry-After hint.
+var ErrDraining = errors.New("serve: draining")
+
 // RunnerStats summarizes the worker pool for /v1/stats.
 type RunnerStats struct {
 	Workers   int    `json:"workers"`
@@ -265,6 +275,7 @@ type Runner struct {
 	reg      *Registry
 	workers  int
 	queueCap int
+	store    JobStore // nil: in-memory only
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -285,8 +296,12 @@ type Runner struct {
 // NewRunner starts `workers` goroutines consuming a queue of `queueCap`
 // pending jobs. The registry resolves TOP-IL models; tel receives the
 // pool's metric families (serve_jobs_*) — nil gets a private registry,
-// so Stats works for standalone runners.
-func NewRunner(reg *Registry, workers, queueCap int, tel *telemetry.Registry) *Runner {
+// so Stats works for standalone runners. A non-nil store makes the pool
+// durable: every state transition is journaled before it becomes
+// observable, and construction replays the journal — terminal jobs are
+// restored for GET /v1/jobs/{id}, interrupted (queued/running) jobs are
+// re-enqueued so every accepted job still reaches a terminal state.
+func NewRunner(reg *Registry, workers, queueCap int, tel *telemetry.Registry, store JobStore) *Runner {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -301,6 +316,7 @@ func NewRunner(reg *Registry, workers, queueCap int, tel *telemetry.Registry) *R
 		reg:       reg,
 		workers:   workers,
 		queueCap:  queueCap,
+		store:     store,
 		queue:     make(chan *Job, queueCap),
 		baseCtx:   ctx,
 		cancelAll: cancel,
@@ -322,6 +338,7 @@ func NewRunner(reg *Registry, workers, queueCap int, tel *telemetry.Registry) *R
 	tel.Gauge("serve_jobs_queue_cap", "job queue capacity").Set(float64(queueCap))
 	tel.GaugeFunc("serve_jobs_queue_depth", "simulation jobs waiting for a worker",
 		func() float64 { return float64(len(r.queue)) })
+	r.recover()
 	for i := 0; i < workers; i++ {
 		r.wg.Add(1)
 		go r.worker()
@@ -329,8 +346,86 @@ func NewRunner(reg *Registry, workers, queueCap int, tel *telemetry.Registry) *R
 	return r
 }
 
-// Submit validates and enqueues a job, returning its snapshot.
+// recover replays the store (when present) before the workers start:
+// terminal jobs are restored as read-only snapshots, interrupted jobs are
+// re-enqueued for execution. Jobs that no longer fit the queue are marked
+// failed — a terminal state the journal records, so the accepted-implies-
+// terminal guarantee survives even a shrunk queue capacity.
+func (r *Runner) recover() {
+	if r.store == nil {
+		return
+	}
+	recs, err := r.store.Replay()
+	if err != nil {
+		log.Printf("serve: job store replay: %v", err)
+		return
+	}
+	folded := foldRecords(recs)
+	ids := make([]string, 0, len(folded))
+	for _, rec := range folded {
+		ids = append(ids, rec.id)
+	}
+	r.seq = maxRunnerSeq(ids)
+	for _, rec := range folded {
+		j := &Job{id: rec.id, req: rec.req, created: time.Now()}
+		if isTerminal(rec.state) {
+			j.state = rec.state
+			j.err = rec.err
+			j.result = rec.result
+			j.finished = time.Now()
+			r.jobs[j.id] = j
+			r.order = append(r.order, j.id)
+			continue
+		}
+		jobCtx, jobCancel := context.WithCancel(r.baseCtx)
+		j.state = StateQueued
+		j.runCtx = jobCtx
+		j.cancel = jobCancel
+		select {
+		case r.queue <- j:
+		default:
+			j.state = StateFailed
+			j.err = "recovery: job queue full"
+			j.finished = time.Now()
+			jobCancel()
+			r.journal(JobRecord{ID: j.id, State: StateFailed, Err: j.err})
+		}
+		r.jobs[j.id] = j
+		r.order = append(r.order, j.id)
+	}
+	if n := len(folded); n > 0 {
+		log.Printf("serve: job store recovered %d job(s)", n)
+	}
+}
+
+// journal appends one record to the store. Append failures after
+// acceptance are logged, not fatal: the in-memory state stays correct and
+// the next restart simply re-runs the affected job.
+func (r *Runner) journal(rec JobRecord) {
+	if r.store == nil {
+		return
+	}
+	if err := r.store.Append(rec); err != nil {
+		log.Printf("serve: job store append (%s -> %s): %v", rec.ID, rec.State, err)
+	}
+}
+
+// Submit validates and enqueues a job under a runner-minted ID, returning
+// its snapshot.
 func (r *Runner) Submit(req SimRequest) (JobSnapshot, error) {
+	return r.SubmitID("", req)
+}
+
+// SubmitID validates and enqueues a job, returning its snapshot. A
+// non-empty id is used verbatim (the cluster router mints IDs so that
+// GET /v1/jobs/{id} shards to the same replica); an empty id gets a
+// runner-minted one. Reusing a live ID fails with ErrConflict (409).
+func (r *Runner) SubmitID(id string, req SimRequest) (JobSnapshot, error) {
+	if id != "" {
+		if err := validJobID(id); err != nil {
+			return JobSnapshot{}, err
+		}
+	}
 	req = req.withDefaults()
 	if err := req.validate(); err != nil {
 		return JobSnapshot{}, err
@@ -353,10 +448,16 @@ func (r *Runner) Submit(req SimRequest) (JobSnapshot, error) {
 		r.mu.Unlock()
 		return JobSnapshot{}, ErrClosed
 	}
-	r.seq++
+	if id == "" {
+		r.seq++
+		id = fmt.Sprintf("j-%06d", r.seq)
+	} else if _, exists := r.jobs[id]; exists {
+		r.mu.Unlock()
+		return JobSnapshot{}, fmt.Errorf("%w: %q", ErrConflict, id)
+	}
 	jobCtx, jobCancel := context.WithCancel(r.baseCtx)
 	j := &Job{
-		id:      fmt.Sprintf("j-%06d", r.seq),
+		id:      id,
 		state:   StateQueued,
 		req:     req,
 		created: time.Now(),
@@ -365,6 +466,17 @@ func (r *Runner) Submit(req SimRequest) (JobSnapshot, error) {
 	}
 	select {
 	case r.queue <- j:
+		// Journal before the job becomes observable: a 202 implies the
+		// queued record is durable. On a store failure the job is
+		// canceled and never registered, so the client retries cleanly.
+		if r.store != nil {
+			reqCopy := req
+			if err := r.store.Append(JobRecord{ID: j.id, State: StateQueued, Req: &reqCopy}); err != nil {
+				r.mu.Unlock()
+				jobCancel()
+				return JobSnapshot{}, fmt.Errorf("serve: job store: %w", err)
+			}
+		}
 		r.jobs[j.id] = j
 		r.order = append(r.order, j.id)
 		r.submitted.Inc()
@@ -377,6 +489,13 @@ func (r *Runner) Submit(req SimRequest) (JobSnapshot, error) {
 		return JobSnapshot{}, ErrOverloaded
 	}
 }
+
+// QueueDepth returns the number of jobs waiting for a worker — the signal
+// behind Retry-After hints and the cluster router's load shedding.
+func (r *Runner) QueueDepth() int { return len(r.queue) }
+
+// QueueCap returns the job queue capacity.
+func (r *Runner) QueueCap() int { return r.queueCap }
 
 // Get returns a job by ID.
 func (r *Runner) Get(id string) (*Job, bool) {
@@ -482,9 +601,11 @@ func (r *Runner) run(j *Job) {
 	if ctx.Err() != nil {
 		j.setState(StateCanceled)
 		r.count(StateCanceled)
+		r.journal(JobRecord{ID: j.id, State: StateCanceled})
 		return
 	}
 	j.setState(StateRunning)
+	r.journal(JobRecord{ID: j.id, State: StateRunning})
 	r.running.Add(1)
 	defer r.running.Add(-1)
 	res, err := r.execute(ctx, j.req)
@@ -495,15 +616,18 @@ func (r *Runner) run(j *Job) {
 		j.mu.Unlock()
 		j.setState(StateFailed)
 		r.count(StateFailed)
+		r.journal(JobRecord{ID: j.id, State: StateFailed, Err: err.Error()})
 	case ctx.Err() != nil:
 		j.setState(StateCanceled)
 		r.count(StateCanceled)
+		r.journal(JobRecord{ID: j.id, State: StateCanceled})
 	default:
 		j.mu.Lock()
 		j.result = res
 		j.mu.Unlock()
 		j.setState(StateDone)
 		r.count(StateDone)
+		r.journal(JobRecord{ID: j.id, State: StateDone, Result: res})
 	}
 }
 

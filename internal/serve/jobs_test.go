@@ -41,7 +41,7 @@ func quickSim(policy string) SimRequest {
 }
 
 func TestRunnerGovernorJob(t *testing.T) {
-	r := NewRunner(NewRegistry(t.TempDir()), 2, 8, nil)
+	r := NewRunner(NewRegistry(t.TempDir()), 2, 8, nil, nil)
 	defer r.Shutdown(context.Background())
 
 	snap, err := r.Submit(quickSim("GTS/ondemand"))
@@ -71,7 +71,7 @@ func TestRunnerTOPILJobWithManifest(t *testing.T) {
 	dir := t.TempDir()
 	// features.Dim(8 cores, 2 clusters) = 21 inputs, 8 core ratings out.
 	writeModel(t, dir, "model-1", []int{21, 16, 8}, 1)
-	r := NewRunner(NewRegistry(dir), 1, 4, nil)
+	r := NewRunner(NewRegistry(dir), 1, 4, nil, nil)
 	defer r.Shutdown(context.Background())
 
 	spec, _ := workload.ByName(workload.MixedPool()[0])
@@ -103,7 +103,7 @@ func TestRunnerTOPILJobWithManifest(t *testing.T) {
 func TestRunnerValidation(t *testing.T) {
 	dir := t.TempDir()
 	writeModel(t, dir, "tiny", []int{4, 4, 2}, 1) // wrong shape for the platform
-	r := NewRunner(NewRegistry(dir), 1, 4, nil)
+	r := NewRunner(NewRegistry(dir), 1, 4, nil, nil)
 	defer r.Shutdown(context.Background())
 
 	cases := []SimRequest{
@@ -139,7 +139,7 @@ func quickSimWithModel(policy, model string) SimRequest {
 }
 
 func TestRunnerBackpressureAndCancel(t *testing.T) {
-	r := NewRunner(NewRegistry(t.TempDir()), 1, 1, nil)
+	r := NewRunner(NewRegistry(t.TempDir()), 1, 1, nil, nil)
 
 	long := quickSim("GTS/powersave")
 	long.Duration = 3600 // would run for minutes of wall time if not canceled
@@ -195,7 +195,7 @@ func TestRunnerBackpressureAndCancel(t *testing.T) {
 }
 
 func TestRunnerShutdownDrains(t *testing.T) {
-	r := NewRunner(NewRegistry(t.TempDir()), 2, 8, nil)
+	r := NewRunner(NewRegistry(t.TempDir()), 2, 8, nil, nil)
 	ids := make([]string, 3)
 	for i := range ids {
 		snap, err := r.Submit(quickSim("GTS/ondemand"))

@@ -14,6 +14,11 @@ import (
 // is respected (gateway-assigned IDs propagate), otherwise one is minted.
 const requestIDHeader = "X-Request-Id"
 
+// jobIDHeader carries a router-minted job ID on POST /v1/sim: the cluster
+// router assigns IDs so the job shards deterministically and later
+// GET /v1/jobs/{id} calls hash to the same replica.
+const jobIDHeader = "X-Job-Id"
+
 // idPrefix distinguishes IDs minted by different server instances.
 var idPrefix = func() string {
 	var b [4]byte

@@ -9,6 +9,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/telemetry"
@@ -27,6 +28,11 @@ type Config struct {
 	QueueCap int
 	// Batch tunes the inference coalescing frontend.
 	Batch BatcherConfig
+	// Store, when non-nil, makes the job pool durable: every job state
+	// transition is journaled through it and construction replays the
+	// journal, so GET /v1/jobs/{id} survives a replica restart (see
+	// internal/cluster's JournalStore).
+	Store JobStore
 	// Telemetry receives every metric family the server and its batchers
 	// and job pool produce, and backs GET /metrics. Nil gets a private
 	// registry (metrics still work, just not shared with the process
@@ -50,6 +56,12 @@ type Server struct {
 	tel     *telemetry.Registry
 	tracer  *telemetry.Tracer // wall-time request spans, bounded ring
 	clock   telemetry.Clock   // wall clock, origin = server start
+
+	// draining is the replica-mode drain flag: set by POST /v1/drain, it
+	// refuses new work with 503 + Retry-After while reads and in-flight
+	// jobs keep being served, and is reported by GET /v1/healthz so a
+	// router stops routing here.
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	batchers map[string]*Batcher
@@ -77,7 +89,7 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		reg:      reg,
-		runner:   NewRunner(reg, cfg.Workers, cfg.QueueCap, cfg.Telemetry),
+		runner:   NewRunner(reg, cfg.Workers, cfg.QueueCap, cfg.Telemetry, cfg.Store),
 		metrics:  NewMetrics(cfg.Telemetry),
 		tel:      cfg.Telemetry,
 		tracer:   tracer,
@@ -106,6 +118,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
 	route("GET /v1/healthz", s.handleHealthz)
+	route("POST /v1/drain", s.handleDrain)
 	route("GET /v1/models", s.handleModels)
 	route("POST /v1/infer", s.handleInfer)
 	route("POST /v1/sim", s.handleSim)
@@ -188,8 +201,100 @@ func (s *Server) batcherFor(name string) (*Batcher, error) {
 
 // --- handlers ---
 
+// QueueHealth reports one bounded queue's fill in GET /v1/healthz.
+type QueueHealth struct {
+	Depth int `json:"depth"`
+	Cap   int `json:"cap"`
+}
+
+// fill returns the queue's fill fraction in [0, 1].
+func (q QueueHealth) fill() float64 {
+	if q.Cap <= 0 {
+		return 0
+	}
+	return float64(q.Depth) / float64(q.Cap)
+}
+
+// HealthResponse is the body of GET /v1/healthz: liveness plus the
+// backpressure signals a cluster router sheds load on. Load is the worst
+// queue-fill fraction in [0, 1].
+type HealthResponse struct {
+	Status   string      `json:"status"` // "ok" | "draining"
+	Draining bool        `json:"draining"`
+	Jobs     QueueHealth `json:"jobs"`
+	Infer    QueueHealth `json:"infer"`
+	Running  int         `json:"running"`
+	Load     float64     `json:"load"`
+}
+
+// health assembles the current health snapshot.
+func (s *Server) health() HealthResponse {
+	h := HealthResponse{
+		Status:   "ok",
+		Draining: s.draining.Load(),
+		Jobs:     QueueHealth{Depth: s.runner.QueueDepth(), Cap: s.runner.QueueCap()},
+		Running:  s.runner.Stats().Running,
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	s.mu.Lock()
+	for _, b := range s.batchers {
+		h.Infer.Depth += b.QueueDepth()
+		h.Infer.Cap += b.QueueCap()
+	}
+	s.mu.Unlock()
+	if h.Infer.Cap == 0 {
+		// No batcher instantiated yet: report the configured bound so the
+		// router's fill fractions are meaningful from the first poll.
+		h.Infer.Cap = s.cfg.Batch.QueueCap
+		if h.Infer.Cap <= 0 {
+			h.Infer.Cap = DefaultBatcherConfig().QueueCap
+		}
+	}
+	h.Load = h.Jobs.fill()
+	if f := h.Infer.fill(); f > h.Load {
+		h.Load = f
+	}
+	return h
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// handleDrain is the replica-side drain protocol: the first POST flips the
+// server into draining (new POST /v1/infer and /v1/sim get 503 with a
+// Retry-After hint; reads and in-flight jobs keep being served) and every
+// POST returns the current health, so draining is idempotent and
+// observable. A router drains a replica before retiring it.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.draining.Store(true)
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// retryAfterSeconds derives the Retry-After hint from a queue's fill: an
+// empty queue suggests an immediate retry (1 s floor), a full one the cap
+// of 5 s — enough spread for closed-loop clients to desynchronize.
+func retryAfterSeconds(depth, cap int) int {
+	if cap <= 0 || depth < 0 {
+		return 1
+	}
+	if depth > cap {
+		depth = cap
+	}
+	return 1 + (4*depth)/cap
+}
+
+// writeRetryError writes an error response carrying a Retry-After header —
+// the 429/503 contract: every shed response tells the client when to come
+// back, derived from current queue depth.
+func writeRetryError(w http.ResponseWriter, status int, err error, retryAfter int) {
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfter))
+	writeError(w, status, err)
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -243,6 +348,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: %d inputs exceed the 4096 limit", len(req.Inputs)))
 		return
 	}
+	if s.draining.Load() {
+		writeRetryError(w, http.StatusServiceUnavailable, ErrDraining, 2)
+		return
+	}
 	b, err := s.batcherFor(req.Model)
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -279,6 +388,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				writeRetryError(w, statusFor(err), err,
+					retryAfterSeconds(b.QueueDepth(), b.QueueCap()))
+				return
+			}
 			writeError(w, statusFor(err), err)
 			return
 		}
@@ -292,8 +406,19 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	snap, err := s.runner.Submit(req)
+	if s.draining.Load() {
+		writeRetryError(w, http.StatusServiceUnavailable, ErrDraining, 2)
+		return
+	}
+	// A router-minted job ID (consistent-hash sharding key) is honored so
+	// GET /v1/jobs/{id} lands on the same replica.
+	snap, err := s.runner.SubmitID(r.Header.Get(jobIDHeader), req)
 	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			writeRetryError(w, statusFor(err), err,
+				retryAfterSeconds(s.runner.QueueDepth(), s.runner.QueueCap()))
+			return
+		}
 		writeError(w, statusFor(err), err)
 		return
 	}
@@ -388,8 +513,10 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrConflict):
+		return http.StatusConflict
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, ErrInference):

@@ -70,10 +70,13 @@ func getJSON(t *testing.T, url string, v interface{}) *http.Response {
 func TestServerHealthAndModels(t *testing.T) {
 	_, ts, _ := newTestServer(t)
 
-	var health map[string]string
+	var health HealthResponse
 	resp := getJSON(t, ts.URL+"/v1/healthz", &health)
-	if resp.StatusCode != http.StatusOK || health["status"] != "ok" {
-		t.Fatalf("healthz: %d %v", resp.StatusCode, health)
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" || health.Draining {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, health)
+	}
+	if health.Jobs.Cap <= 0 || health.Infer.Cap <= 0 {
+		t.Errorf("healthz queue caps not reported: %+v", health)
 	}
 	if resp.Header.Get("X-Request-Id") == "" {
 		t.Error("no request ID assigned")

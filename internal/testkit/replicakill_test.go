@@ -1,0 +1,57 @@
+package testkit
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestReplicaKillPlanDeterministic(t *testing.T) {
+	a := NewChaos(7).ReplicaKillPlan(3, 2, 5000)
+	b := NewChaos(7).ReplicaKillPlan(3, 2, 5000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%v\n%v", a, b)
+	}
+	ca, cb := NewChaos(7), NewChaos(7)
+	ca.ReplicaKillPlan(3, 2, 5000)
+	cb.ReplicaKillPlan(3, 2, 5000)
+	if ca.EventLog() != cb.EventLog() {
+		t.Fatalf("same seed, different event logs:\n%s\n%s", ca.EventLog(), cb.EventLog())
+	}
+	if c := NewChaos(8).ReplicaKillPlan(3, 2, 5000); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestReplicaKillPlanBounds(t *testing.T) {
+	plan := NewChaos(1).ReplicaKillPlan(4, 9, 10000)
+	if len(plan) != 4 {
+		t.Fatalf("kills not capped at replicas: %d", len(plan))
+	}
+	seen := map[int]bool{}
+	last := -1
+	for _, k := range plan {
+		if k.Replica < 0 || k.Replica >= 4 {
+			t.Errorf("replica out of range: %+v", k)
+		}
+		if seen[k.Replica] {
+			t.Errorf("replica %d killed twice", k.Replica)
+		}
+		seen[k.Replica] = true
+		if k.AtMs < 1000 || k.AtMs >= 9000 {
+			t.Errorf("kill outside the middle 80%%: %+v", k)
+		}
+		if k.AtMs < last {
+			t.Errorf("plan not sorted by time: %v", plan)
+		}
+		last = k.AtMs
+		if k.RestartAfterMs < 1000 {
+			t.Errorf("restart delay under 10%% of window: %+v", k)
+		}
+	}
+	if NewChaos(1).ReplicaKillPlan(0, 1, 100) != nil {
+		t.Error("degenerate plan not nil")
+	}
+	if got := NewChaos(1).EventLog(); got != "chaos seed=1 events=0\n" {
+		t.Errorf("unexpected baseline log %q", got)
+	}
+}

@@ -1,0 +1,189 @@
+// Command benchserve measures the cluster's horizontal scaling claim: it
+// runs the same closed-loop /v1/infer load against a 1-replica and an
+// N-replica in-process cluster (each replica pacing its batcher at the
+// modelled NPU latency, so one replica behaves like one accelerator) and
+// writes the throughput and latency comparison to BENCH_serve.json. The
+// acceptance bar is aggregate throughput at 4 replicas >= 2.5x the
+// single-replica figure; num_cpu and go_max_procs are recorded so a
+// core-starved CI box is interpretable.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/serve"
+)
+
+type benchResult struct {
+	Replicas int                `json:"replicas"`
+	Report   cluster.LoadReport `json:"report"`
+}
+
+type benchFile struct {
+	NumCPU      int           `json:"num_cpu"`
+	GoMaxProcs  int           `json:"go_max_procs"`
+	Mode        string        `json:"mode"`
+	Concurrency int           `json:"concurrency"`
+	DurationSec float64       `json:"duration_sec"`
+	PaceDevice  bool          `json:"pace_device"`
+	PaceScale   float64       `json:"pace_scale"`
+	Benches     []benchResult `json:"benches"`
+	// SpeedupVsOne maps "N" to throughput(N replicas)/throughput(1).
+	SpeedupVsOne map[string]float64 `json:"speedup_vs_one"`
+}
+
+// paceScale slows the emulated accelerator ~64x (one 16-row batch takes
+// ~64ms instead of ~1ms), capping each replica near 250 req/s. That keeps
+// the bench device-bound even on a one-core machine: the CPU cost of the
+// HTTP path is small next to the paced device time, so adding replicas
+// adds real capacity instead of contending for the same saturated core.
+const paceScale = 64
+
+func runOne(modelsDir string, n, concurrency int, duration time.Duration) (cluster.LoadReport, error) {
+	storeRoot, err := os.MkdirTemp("", "benchserve-store-")
+	if err != nil {
+		return cluster.LoadReport{}, err
+	}
+	defer os.RemoveAll(storeRoot)
+
+	set, err := cluster.StartReplicaSet(cluster.ReplicaSetConfig{
+		N: n,
+		Serve: serve.Config{
+			ModelsDir: modelsDir,
+			Workers:   1,
+			QueueCap:  8,
+			Batch: serve.BatcherConfig{
+				MaxBatch:    16,
+				MaxWait:     2 * time.Millisecond,
+				QueueCap:    512,
+				MaxInflight: 1,
+				PaceDevice:  true,
+				PaceScale:   paceScale,
+			},
+		},
+		StoreRoot: storeRoot,
+	})
+	if err != nil {
+		return cluster.LoadReport{}, err
+	}
+	defer set.Close()
+
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Replicas:       set.Replicas(),
+		HealthInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return cluster.LoadReport{}, err
+	}
+	defer rt.Close()
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	base := cluster.LoadConfig{
+		URL:         ts.URL,
+		Model:       "model-1",
+		InputDim:    21,
+		Mode:        cluster.ModeClosed,
+		Concurrency: concurrency,
+		Seed:        1,
+	}
+	// Untimed warmup: fills batcher pipelines and health-poll state so the
+	// measured window sees steady state.
+	warm := base
+	warm.Duration = 500 * time.Millisecond
+	if _, err := cluster.RunLoad(context.Background(), warm); err != nil {
+		return cluster.LoadReport{}, err
+	}
+	base.Duration = duration
+	return cluster.RunLoad(context.Background(), base)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchserve: ")
+	var (
+		out         = flag.String("out", "BENCH_serve.json", "output path")
+		duration    = flag.Duration("duration", 5*time.Second, "measured window per configuration")
+		concurrency = flag.Int("concurrency", 256, "closed-loop worker count (must exceed peak rate x latency to saturate the largest cluster)")
+		replicasArg = flag.String("replicas", "1,4", "comma-separated replica counts (must include 1)")
+	)
+	flag.Parse()
+
+	var counts []int
+	for _, f := range strings.Split(*replicasArg, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			log.Fatalf("bad -replicas entry %q", f)
+		}
+		counts = append(counts, v)
+	}
+
+	modelsDir, err := os.MkdirTemp("", "benchserve-models-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(modelsDir)
+	if err := core.SaveModel(nn.NewMLP([]int{21, 32, 8}, 1), filepath.Join(modelsDir, "model-1.json")); err != nil {
+		log.Fatal(err)
+	}
+
+	file := benchFile{
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Mode:         cluster.ModeClosed,
+		Concurrency:  *concurrency,
+		DurationSec:  duration.Seconds(),
+		PaceDevice:   true,
+		PaceScale:    paceScale,
+		SpeedupVsOne: map[string]float64{},
+	}
+
+	var baseRPS float64
+	for _, n := range counts {
+		rep, err := runOne(modelsDir, n, *concurrency, *duration)
+		if err != nil {
+			log.Fatalf("%d replica(s): %v", n, err)
+		}
+		file.Benches = append(file.Benches, benchResult{Replicas: n, Report: rep})
+		if n == 1 {
+			baseRPS = rep.AchievedRPS
+		}
+		log.Printf("%d replica(s): %.0f req/s, p50 %.2fms, p99 %.2fms, shed %d, errors %d",
+			n, rep.AchievedRPS, rep.Latency.P50Ms, rep.Latency.P99Ms,
+			rep.Shed, rep.ServerErrs+rep.NetErrs)
+	}
+	if baseRPS > 0 {
+		for _, b := range file.Benches {
+			file.SpeedupVsOne[strconv.Itoa(b.Replicas)] =
+				b.Report.AchievedRPS / baseRPS
+		}
+	}
+	for n, s := range file.SpeedupVsOne {
+		if n != "1" {
+			log.Printf("speedup at %s replicas: %.2fx", n, s)
+		}
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -3,7 +3,9 @@
 # concurrent packages + coverage gate + sim-time trace determinism.
 # `scripts/check.sh smoke` additionally boots topil-serve and drives one
 # infer + sim round trip over HTTP, scrapes /metrics, then drains it with
-# SIGINT.
+# SIGINT. `scripts/check.sh cluster-smoke` boots three journal-backed
+# replicas behind topil-cluster, SIGKILLs one under load, and checks
+# zero 5xx plus journal recovery.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -72,6 +74,112 @@ if [ "${1:-}" = "smoke" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "cluster-smoke" ]; then
+    # Cluster end-to-end: three journal-backed topil-serve replicas behind
+    # a topil-cluster router, sim jobs sharded across them, a SIGKILLed
+    # replica mid-run with a loadgen burst that must see zero 5xx (the
+    # router fails over), and journal recovery when the replica returns.
+    tmp=$(mktemp -d)
+    # Track daemon PIDs explicitly ($(jobs -p) is unreliable inside an
+    # EXIT trap under dash) and detach their stdio from ours, so a caller
+    # piping this script never blocks on an orphan holding the pipe.
+    pids=""
+    trap 'kill $pids 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+    go run ./scripts/genmodel "$tmp/model-1.json"
+    go build -o "$tmp/topil-serve" ./cmd/topil-serve
+    go build -o "$tmp/topil-cluster" ./cmd/topil-cluster
+    go build -o "$tmp/topil-loadgen" ./cmd/topil-loadgen
+
+    raddr=127.0.0.1:18930
+    for i in 1 2 3; do
+        mkdir -p "$tmp/store-$i"
+        "$tmp/topil-serve" -addr "127.0.0.1:1893$i" -models "$tmp" \
+            -store "$tmp/store-$i" -workers 2 \
+            >"$tmp/replica-$i.log" 2>&1 </dev/null &
+        eval "rpid$i=\$!"
+        pids="$pids $!"
+    done
+    "$tmp/topil-cluster" -addr "$raddr" -health-interval 100ms \
+        -join http://127.0.0.1:18931,http://127.0.0.1:18932,http://127.0.0.1:18933 \
+        >"$tmp/router.log" 2>&1 </dev/null &
+    pids="$pids $!"
+
+    for i in $(seq 1 50); do
+        curl -sf "http://$raddr/v1/healthz" >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+
+    # Shard six quick jobs across the replicas and wait for them through
+    # the router.
+    jobs=""
+    for i in $(seq 1 6); do
+        job=$(curl -sf -X POST "http://$raddr/v1/sim" \
+            -d '{"policy":"GTS/ondemand","duration":2,"numJobs":2,"rate":2,"instrScale":0.02}' \
+            | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+        [ -n "$job" ] || { echo "cluster: sim submission $i failed"; exit 1; }
+        jobs="$jobs $job"
+    done
+    for job in $jobs; do
+        state=""
+        for i in $(seq 1 100); do
+            state=$(curl -sf "http://$raddr/v1/jobs/$job" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+            [ "$state" = "done" ] && break
+            [ "$state" = "failed" ] && { echo "cluster: job $job failed"; exit 1; }
+            sleep 0.2
+        done
+        [ "$state" = "done" ] || { echo "cluster: job $job stuck in '$state'"; exit 1; }
+    done
+
+    # Find a replica that owns at least one job and SIGKILL it — a crash,
+    # not a drain.
+    victim=""
+    for i in 1 2 3; do
+        n=$(curl -sf "http://127.0.0.1:1893$i/v1/jobs" | grep -c '"id"' || true)
+        [ "$n" -gt 0 ] && { victim=$i; break; }
+    done
+    [ -n "$victim" ] || { echo "cluster: no replica owns a job (sharding broken?)"; exit 1; }
+    eval "vpid=\$rpid$victim"
+    kill -9 "$vpid"
+    wait "$vpid" 2>/dev/null || true
+
+    # A burst against the degraded cluster must surface zero 5xx and zero
+    # transport errors: the router routes around the dead replica.
+    "$tmp/topil-loadgen" -url "http://$raddr" -model model-1 -dim 21 \
+        -qps 150 -duration 2s -shape burst -o "$tmp/loadgen.json"
+    for field in serverErrs netErrs; do
+        v=$(sed -n "s/.*\"$field\": \([0-9]*\).*/\1/p" "$tmp/loadgen.json")
+        [ "$v" = "0" ] || { echo "cluster: $field=$v during replica outage"; cat "$tmp/loadgen.json"; exit 1; }
+    done
+    ok=$(sed -n 's/.*"ok": \([0-9]*\).*/\1/p' "$tmp/loadgen.json")
+    [ "$ok" -gt 0 ] || { echo "cluster: loadgen made no successful requests"; exit 1; }
+
+    # Restart the victim over its journal: its jobs must still be there,
+    # finished, and readable through the router again.
+    "$tmp/topil-serve" -addr "127.0.0.1:1893$victim" -models "$tmp" \
+        -store "$tmp/store-$victim" -workers 2 \
+        >>"$tmp/replica-$victim.log" 2>&1 </dev/null &
+    pids="$pids $!"
+    for i in $(seq 1 50); do
+        curl -sf "http://127.0.0.1:1893$victim/v1/healthz" >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+    n=$(curl -sf "http://127.0.0.1:1893$victim/v1/jobs" | grep -c '"id"' || true)
+    [ "$n" -gt 0 ] || { echo "cluster: restarted replica lost its journaled jobs"; exit 1; }
+    for job in $jobs; do
+        state=""
+        for i in $(seq 1 100); do
+            state=$(curl -sf "http://$raddr/v1/jobs/$job" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+            [ "$state" = "done" ] && break
+            sleep 0.2
+        done
+        [ "$state" = "done" ] || { echo "cluster: job $job unreadable after recovery ('$state')"; exit 1; }
+    done
+
+    echo "cluster smoke OK (sharded jobs + replica SIGKILL with zero 5xx + journal recovery)"
+    exit 0
+fi
+
 echo "== go build ./..."
 go build ./...
 echo "== go vet ./..."
@@ -80,9 +188,9 @@ echo "== topil-lint ./..."
 go run ./cmd/topil-lint ./...
 echo "== go test ./..."
 go test ./...
-echo "== go test -race (serve, npu, nn, workload, sim, telemetry)"
-go test -race ./internal/serve/... ./internal/npu/... ./internal/nn/... \
-    ./internal/workload/... ./internal/sim/... ./internal/telemetry/...
+echo "== go test -race (serve, cluster, npu, nn, workload, sim, telemetry)"
+go test -race ./internal/serve/... ./internal/cluster/... ./internal/npu/... \
+    ./internal/nn/... ./internal/workload/... ./internal/sim/... ./internal/telemetry/...
 echo "== go test -race -short (experiments)"
 go test -race -short ./internal/experiments/...
 echo "== coverage gate"
