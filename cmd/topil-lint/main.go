@@ -1,14 +1,29 @@
 // Command topil-lint runs the repository's custom static-analysis suite
-// (internal/analysis) over the given package patterns: detrand (no global
-// RNG or wall clock in the deterministic packages), lockcheck (mutex copy
-// and Lock/Unlock pairing hygiene), unitcheck (unit annotations on
-// physical float64 fields and parameters), exitcheck (no os.Exit /
-// log.Fatal / undocumented panic in library code), testkitonly (the
-// fault-injection harness internal/testkit may only be imported from
-// _test.go files, so chaos never ships in a production binary) and
+// (internal/analysis) over the given package patterns.
+//
+// Per-package rules: detrand (no global RNG or wall clock in the
+// deterministic packages), lockcheck (mutex copy, Lock/Unlock and
+// RLock/RUnlock pairing on every path, RLock→Lock upgrade deadlocks),
+// unitcheck (unit annotations on physical float64 fields and
+// parameters), exitcheck (no os.Exit / log.Fatal / undocumented panic in
+// library code), testkitonly (the fault-injection harness
+// internal/testkit may only be imported from _test.go files),
 // telemetrycheck (no expvar, no wall-clock reads fed into telemetry
-// calls, Prometheus-valid metric names — outside internal/telemetry and
-// cmd/).
+// calls, Prometheus-valid metric names), ctxflow (context.Context
+// discipline: ctx first, no fresh roots in request-scoped code,
+// NewRequestWithContext, cancellable channel waits) and hotalloc
+// (functions annotated //hot:<reason> must be allocation-free per the
+// compiler's escape analysis).
+//
+// Whole-program rules, resolved through the module call graph: goleak
+// (every spawned goroutine has a provable exit path, including closures
+// handed to spawn helpers) and closecheck (response bodies, files,
+// listeners and tickers are released on every path, with ownership
+// transfer across calls).
+//
+// Results are cached per package under -cachedir keyed on file content
+// hashes, so unchanged re-runs are near-instant; -cache=false forces a
+// full recompute.
 //
 // Exit status: 0 when the tree is clean, 3 when findings are reported,
 // 1 on operational errors (bad pattern, unreadable files).
@@ -20,19 +35,29 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
 
 func main() {
 	flag.Usage = usage
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	jsonOut := flag.Bool("json", false, "emit a JSON report (diagnostics, timings, cache stats) instead of text")
 	rules := flag.String("rules", "all", "comma-separated rules to run (\"all\" = full suite)")
 	disable := flag.String("disable", "", "comma-separated rules to skip")
 	typeErrs := flag.Bool("typeerrors", false, "also print type-checker errors (analysis is best-effort without)")
+	useCache := flag.Bool("cache", true, "reuse per-package results keyed on file content hashes")
+	cacheDir := flag.String("cachedir", "", "cache location (default: user cache dir/topil-lint)")
 	flag.Parse()
 
-	code, err := run(flag.Args(), *rules, *disable, *jsonOut, *typeErrs)
+	code, err := run(flag.Args(), options{
+		rules:    *rules,
+		disable:  *disable,
+		jsonOut:  *jsonOut,
+		typeErrs: *typeErrs,
+		useCache: *useCache,
+		cacheDir: *cacheDir,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "topil-lint: %v\n", err)
 		os.Exit(1)
@@ -45,10 +70,30 @@ func usage() {
 	fmt.Fprintf(os.Stderr, "Patterns are package directories or recursive forms like ./... (default ./...).\n")
 	fmt.Fprintf(os.Stderr, "Suppress a finding with `//lint:ignore <rule> <reason>` on or above its line.\n\nRules:\n")
 	for _, a := range analysis.All() {
-		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
 	}
 	fmt.Fprintf(os.Stderr, "\nFlags:\n")
 	flag.PrintDefaults()
+}
+
+// options carries the parsed command line.
+type options struct {
+	rules, disable    string
+	jsonOut, typeErrs bool
+	useCache          bool
+	cacheDir          string
+}
+
+// report is the -json envelope. The diagnostics array keeps the pinned
+// five-key shape; the envelope adds run metadata (scripts/check.sh reads
+// analysis_wall_seconds for the lint time budget).
+type report struct {
+	Diagnostics         []analysis.Diagnostic `json:"diagnostics"`
+	Packages            int                   `json:"packages"`
+	LoadSeconds         float64               `json:"load_seconds"`
+	AnalysisWallSeconds float64               `json:"analysis_wall_seconds"`
+	CacheHits           int                   `json:"cache_hits"`
+	CacheMisses         int                   `json:"cache_misses"`
 }
 
 // selectAnalyzers resolves the -rules/-disable flags against the suite.
@@ -98,8 +143,8 @@ func ruleNames(suite []*analysis.Analyzer) string {
 	return strings.Join(names, ", ")
 }
 
-func run(patterns []string, rules, disable string, jsonOut, typeErrs bool) (int, error) {
-	analyzers, err := selectAnalyzers(rules, disable)
+func run(patterns []string, opts options) (int, error) {
+	analyzers, err := selectAnalyzers(opts.rules, opts.disable)
 	if err != nil {
 		return 0, err
 	}
@@ -110,11 +155,13 @@ func run(patterns []string, rules, disable string, jsonOut, typeErrs bool) (int,
 	if err != nil {
 		return 0, err
 	}
+	loadStart := time.Now()
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		return 0, err
 	}
-	if typeErrs {
+	loadSecs := time.Since(loadStart).Seconds()
+	if opts.typeErrs {
 		for _, p := range pkgs {
 			for _, e := range p.TypeErrors {
 				fmt.Fprintf(os.Stderr, "topil-lint: typecheck %s: %v\n", p.Path, e)
@@ -122,14 +169,31 @@ func run(patterns []string, rules, disable string, jsonOut, typeErrs bool) (int,
 		}
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
-	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
+	cacheDir := ""
+	if opts.useCache {
+		cacheDir = opts.cacheDir
+		if cacheDir == "" {
+			cacheDir = analysis.DefaultCacheDir()
+		}
+	}
+	analysisStart := time.Now()
+	diags, stats := analysis.RunCached(pkgs, analyzers, cacheDir)
+	wallSecs := time.Since(analysisStart).Seconds()
+
+	if opts.jsonOut {
 		if diags == nil {
 			diags = []analysis.Diagnostic{}
 		}
-		if err := enc.Encode(diags); err != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{
+			Diagnostics:         diags,
+			Packages:            len(pkgs),
+			LoadSeconds:         loadSecs,
+			AnalysisWallSeconds: wallSecs,
+			CacheHits:           stats.Hits,
+			CacheMisses:         stats.Misses,
+		}); err != nil {
 			return 0, err
 		}
 	} else {

@@ -29,10 +29,12 @@
 // See README.md for usage, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for paper-vs-measured results.
 // The benchmark harness in bench_test.go regenerates every table and figure.
-// docs/ANALYSIS.md documents the repository's own lint suite (topil-lint),
-// which machine-checks the determinism, mutex-hygiene, physical-unit,
-// process-exit and chaos-containment conventions the reproduction relies
-// on; `make check` runs it between vet and the tests. docs/TESTING.md
+// docs/ANALYSIS.md documents the repository's own lint suite (topil-lint):
+// a module-wide call graph plus a CFG dataflow engine drive rules for
+// determinism, mutex hygiene, goroutine exit paths, context propagation,
+// resource release, zero-allocation //hot functions, physical units,
+// process exit and chaos containment; `make check` runs it between vet
+// and the tests under a wall-clock budget, cached per package. docs/TESTING.md
 // documents the deterministic fault-injection harness (internal/testkit),
 // the paper-invariant property suite, the seed-replay workflow
 // (TOPIL_CHAOS_SEED), fuzzing (`make fuzz`) and the coverage gate.

@@ -12,15 +12,21 @@
 // merges on bespoke lints next to vet and the race detector.
 //
 // The engine is built purely on go/parser and go/types with a source
-// importer; it adds no module dependencies. Six analyzers encode the
-// repo invariants:
+// importer; it adds no module dependencies. (One analyzer, hotalloc, is
+// the deliberate exception to the no-subprocess rule: it consults the real
+// compiler's escape analysis via `go build -gcflags=-m`.) Interprocedural
+// analyzers share a whole-program core — a module-wide call graph
+// (callgraph.go, class-hierarchy analysis for interface calls, closure
+// flow tracking) and a forward dataflow framework over per-function CFGs
+// (cfg.go, dataflow.go). Ten analyzers encode the repo invariants:
 //
 //   - detrand:   no global math/rand, crypto/rand or wall-clock reads
 //     (time.Now, time.Since) inside the deterministic packages; RNGs must
 //     flow from an explicit seeded *rand.Rand.
 //   - lockcheck: no value receivers or struct copies for types containing
-//     sync.Mutex/sync.RWMutex, and every Lock must be released on all
-//     paths of the function that acquired it (directly or via defer).
+//     sync.Mutex/sync.RWMutex, every Lock/RLock must be released on all
+//     paths of the function that acquired it (directly or via defer), and
+//     an RLock must not be upgraded to a Lock while still held.
 //   - unitcheck: exported float64 struct fields and exported-function
 //     parameters named like physical quantities (Freq, Temp, Power,
 //     Voltage, Energy, IPS, Latency) must carry a unit annotation, as
@@ -34,6 +40,18 @@
 //     time.Now/time.Since fed directly into telemetry calls (timestamps
 //     flow through an injected telemetry.Clock), and metric names handed
 //     to registry constructors must match the Prometheus charset.
+//   - goleak:    every `go` statement must start a goroutine with a
+//     provable exit path, resolved through the call graph (including
+//     closures handed to spawn helpers).
+//   - ctxflow:   context.Context parameters come first; request-scoped
+//     code must not sever cancellation with context.Background()/TODO(),
+//     must use http.NewRequestWithContext, and must consult ctx around
+//     blocking channel operations and fsyncs.
+//   - closecheck: resources with Close/Stop (response bodies, files,
+//     listeners, tickers) are released on every path, including error and
+//     failover paths; ownership transfers discharge the obligation.
+//   - hotalloc:  //hot-annotated functions are gated to zero heap
+//     allocations against the compiler's own escape analysis.
 //
 // A finding can be suppressed with a directive on its own line immediately
 // above the offending line, or trailing the offending line:
@@ -51,8 +69,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // An Analyzer is one named invariant check. Run inspects a single package
@@ -65,11 +86,17 @@ type Analyzer struct {
 	Doc string
 	// Run performs the check on one loaded package.
 	Run func(*Pass)
+	// NeedsProgram requests the whole-program view: when set, the driver
+	// builds the module call graph once and exposes it as Pass.Prog.
+	NeedsProgram bool
 }
 
 // All returns the full analyzer suite in deterministic order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand(), LockCheck(), UnitCheck(), ExitCheck(), TestkitOnly(), TelemetryCheck()}
+	return []*Analyzer{
+		DetRand(), LockCheck(), UnitCheck(), ExitCheck(), TestkitOnly(), TelemetryCheck(),
+		GoLeak(), CtxFlow(), CloseCheck(), HotAlloc(),
+	}
 }
 
 // ByName resolves a rule name against the given suite, or nil.
@@ -86,7 +113,10 @@ func ByName(suite []*Analyzer, name string) *Analyzer {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	report   func(Diagnostic)
+	// Prog is the whole-program view (all packages of this Run plus the
+	// call graph); nil unless the analyzer sets NeedsProgram.
+	Prog   *Program
+	report func(Diagnostic)
 }
 
 // Reportf records a finding at pos. The position is resolved against the
@@ -142,38 +172,97 @@ type Package struct {
 
 // Run applies each analyzer to each package, drops suppressed findings,
 // reports malformed or unused suppression directives, and returns the
-// remaining diagnostics sorted by position then rule.
+// remaining diagnostics sorted by position then rule. Packages are
+// analysed in parallel (one worker per CPU); the whole-program call graph
+// is built once up front when any analyzer requests it.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	perPkg := runAll(pkgs, analyzers, nil)
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		used := make([]bool, len(pkg.ignores))
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg}
-			pass.report = func(d Diagnostic) {
-				if i := pkg.ignoreIndex(d.Rule, d.Position); i >= 0 {
-					used[i] = true
-					return
-				}
-				diags = append(diags, d)
-			}
-			a.Run(pass)
-		}
-		for i, ig := range pkg.ignores {
-			if ig.malformed {
-				diags = append(diags, Diagnostic{
-					Rule:     "badignore",
-					Position: ig.pos,
-					Message:  "//lint:ignore needs a rule name and a reason: //lint:ignore <rule> <reason>",
-				})
-			} else if !used[i] && enabled(analyzers, ig.rule) {
-				diags = append(diags, Diagnostic{
-					Rule:     "badignore",
-					Position: ig.pos,
-					Message:  fmt.Sprintf("//lint:ignore %s suppresses nothing here", ig.rule),
-				})
-			}
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+	finalize(diags)
+	return diags
+}
+
+// runAll fans the per-package work out over the CPUs and returns raw
+// (absolute-position) diagnostics per package. skip[i] marks packages the
+// caller already has results for (cache hits) — those are left nil.
+func runAll(pkgs []*Package, analyzers []*Analyzer, skip []bool) [][]Diagnostic {
+	var prog *Program
+	for _, a := range analyzers {
+		if a.NeedsProgram {
+			prog = BuildProgram(pkgs)
+			break
 		}
 	}
+	perPkg := make([][]Diagnostic, len(pkgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(pkgs) {
+					return
+				}
+				if skip != nil && skip[i] {
+					continue
+				}
+				perPkg[i] = runPackage(pkgs[i], analyzers, prog)
+			}
+		}()
+	}
+	wg.Wait()
+	return perPkg
+}
+
+// runPackage applies the suite to one package, resolving suppression
+// directives. Positions are left absolute; finalize relativizes them.
+func runPackage(pkg *Package, analyzers []*Analyzer, prog *Program) []Diagnostic {
+	diags := []Diagnostic{} // non-nil: an empty result is a valid cache entry
+	used := make([]bool, len(pkg.ignores))
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog}
+		pass.report = func(d Diagnostic) {
+			if i := pkg.ignoreIndex(d.Rule, d.Position); i >= 0 {
+				used[i] = true
+				return
+			}
+			diags = append(diags, d)
+		}
+		a.Run(pass)
+	}
+	for i, ig := range pkg.ignores {
+		if ig.malformed {
+			diags = append(diags, Diagnostic{
+				Rule:     "badignore",
+				Position: ig.pos,
+				Message:  "//lint:ignore needs a rule name and a reason: //lint:ignore <rule> <reason>",
+			})
+		} else if !used[i] && enabled(analyzers, ig.rule) {
+			diags = append(diags, Diagnostic{
+				Rule:     "badignore",
+				Position: ig.pos,
+				Message:  fmt.Sprintf("//lint:ignore %s suppresses nothing here", ig.rule),
+			})
+		}
+	}
+	return diags
+}
+
+// finalize fills the JSON position mirror fields (relative to the working
+// directory) and sorts diagnostics into the stable output order.
+func finalize(diags []Diagnostic) {
 	cwd, _ := os.Getwd()
 	for i := range diags {
 		diags[i].File = relativize(cwd, diags[i].Position.Filename)
@@ -193,7 +282,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return diags
 }
 
 // enabled reports whether rule is part of the active suite ("all" always

@@ -1,0 +1,250 @@
+package analysis
+
+// cache.go is the per-package result cache: RunCached short-circuits
+// analysis of packages whose inputs are byte-identical to a previous run.
+// The cache key covers everything a result can depend on — the engine
+// version, the Go toolchain (hotalloc parses the compiler's own escape
+// output), the analyzer selection, and the content hashes of the
+// package's files. When any selected analyzer requests the whole-program
+// view, the key additionally covers every file of the load: call-graph
+// facts (spawn helpers, ownership transfer) can change when *other*
+// packages change, so the conservative key invalidates everything on any
+// edit. Unchanged re-runs — CI retries, back-to-back check.sh — hit on
+// every package.
+//
+// Entries store post-suppression diagnostics with absolute positions;
+// finalize relativizes them exactly like fresh results. All cache I/O is
+// best-effort: unreadable or corrupt entries count as misses, write
+// failures are ignored, and a run with an empty cacheDir never touches
+// the filesystem.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// cacheVersion invalidates every entry when the engine's semantics
+// change; bump it alongside analyzer behavior changes.
+const cacheVersion = "topil-lint-cache-v1"
+
+// CacheStats reports cache effectiveness for one RunCached call.
+type CacheStats struct {
+	Hits   int `json:"cache_hits"`
+	Misses int `json:"cache_misses"`
+}
+
+// cachedDiag is the serialized form of one diagnostic: the absolute
+// position is kept so a hit replays through finalize unchanged.
+type cachedDiag struct {
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+}
+
+// DefaultCacheDir returns the conventional cache location
+// (os.UserCacheDir()/topil-lint), or "" when the platform reports none —
+// callers treat "" as "cache disabled".
+func DefaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "topil-lint")
+}
+
+// RunCached is Run with a per-package result cache under cacheDir. An
+// empty cacheDir disables caching entirely (every package is a miss and
+// nothing is written).
+func RunCached(pkgs []*Package, analyzers []*Analyzer, cacheDir string) ([]Diagnostic, CacheStats) {
+	var stats CacheStats
+	if cacheDir == "" {
+		stats.Misses = len(pkgs)
+		return Run(pkgs, analyzers), stats
+	}
+
+	progHash := ""
+	for _, a := range analyzers {
+		if a.NeedsProgram {
+			progHash = programHash(pkgs)
+			break
+		}
+	}
+
+	keys := make([]string, len(pkgs))
+	skip := make([]bool, len(pkgs))
+	perPkg := make([][]Diagnostic, len(pkgs))
+	for i, p := range pkgs {
+		key, err := packageKey(p, analyzers, progHash)
+		if err != nil {
+			stats.Misses++
+			continue // unhashable (file vanished mid-run): recompute
+		}
+		keys[i] = key
+		if ds, ok := readCacheEntry(cacheDir, key); ok {
+			perPkg[i], skip[i] = ds, true
+			stats.Hits++
+		} else {
+			stats.Misses++
+		}
+	}
+
+	fresh := runAll(pkgs, analyzers, skip)
+	for i := range pkgs {
+		if skip[i] {
+			continue
+		}
+		perPkg[i] = fresh[i]
+		if keys[i] != "" {
+			writeCacheEntry(cacheDir, keys[i], fresh[i])
+		}
+	}
+
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+	finalize(diags)
+	return diags, stats
+}
+
+// packageKey derives the cache key of one package under one analyzer
+// selection. progHash is non-empty when whole-program analyzers run.
+func packageKey(p *Package, analyzers []*Analyzer, progHash string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n%s/%s\n", cacheVersion, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		io.WriteString(h, n+",")
+	}
+	fmt.Fprintf(h, "\n%s\n%s\n", p.Path, progHash)
+	fh, err := filesHash(p)
+	if err != nil {
+		return "", err
+	}
+	io.WriteString(h, fh)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// filesHash hashes the package's source files (name + content), in
+// stable file order.
+func filesHash(p *Package) (string, error) {
+	h := sha256.New()
+	for _, name := range sourceFiles(p) {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return "", err
+		}
+		sum := sha256.Sum256(data)
+		fmt.Fprintf(h, "%s %s\n", filepath.Base(name), hex.EncodeToString(sum[:]))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// sourceFiles lists the absolute file names behind p.Files, sorted.
+func sourceFiles(p *Package) []string {
+	var names []string
+	for _, f := range p.Files {
+		names = append(names, p.Fset.Position(f.Pos()).Filename)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// programHash covers every file of every package in the load: the
+// conservative dependency closure for whole-program analyzers.
+func programHash(pkgs []*Package) string {
+	entries := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		fh, err := filesHash(p)
+		if err != nil {
+			fh = "unhashable:" + p.Path
+		}
+		entries = append(entries, p.Path+" "+fh)
+	}
+	sort.Strings(entries)
+	h := sha256.New()
+	for _, e := range entries {
+		io.WriteString(h, e+"\n")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// readCacheEntry loads and revives one package's diagnostics; any
+// problem reads as a miss.
+func readCacheEntry(cacheDir, key string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(cachePath(cacheDir, key))
+	if err != nil {
+		return nil, false
+	}
+	var stored []cachedDiag
+	if err := json.Unmarshal(data, &stored); err != nil {
+		return nil, false
+	}
+	diags := make([]Diagnostic, len(stored))
+	for i, c := range stored {
+		diags[i] = Diagnostic{
+			Rule:    c.Rule,
+			Message: c.Message,
+			Position: token.Position{
+				Filename: c.File,
+				Line:     c.Line,
+				Column:   c.Col,
+			},
+		}
+	}
+	return diags, true
+}
+
+// writeCacheEntry persists one package's diagnostics, atomically enough
+// for a cache (rename over a temp file); failures are silent.
+func writeCacheEntry(cacheDir, key string, diags []Diagnostic) {
+	stored := make([]cachedDiag, len(diags))
+	for i, d := range diags {
+		stored[i] = cachedDiag{
+			Rule:    d.Rule,
+			Message: d.Message,
+			File:    d.Position.Filename,
+			Line:    d.Position.Line,
+			Col:     d.Position.Column,
+		}
+	}
+	data, err := json.Marshal(stored)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(cacheDir, "entry-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, cachePath(cacheDir, key)); err != nil {
+		os.Remove(name)
+	}
+}
+
+func cachePath(cacheDir, key string) string {
+	return filepath.Join(cacheDir, key+".json")
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTempModule lays out a throwaway module and returns its root.
+func writeTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.21\n"
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// loadTempModule freshly parses the module (no loader reuse, so edits
+// between runs are observed).
+func loadTempModule(t *testing.T, root string) []*Package {
+	t.Helper()
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(root + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+func diagStrings(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+const leakyLock = `package a
+
+import "sync"
+
+var mu sync.Mutex
+
+func Leak() {
+	mu.Lock()
+}
+`
+
+// TestRunCachedRoundTrip checks the hit/miss lifecycle: first run misses
+// and populates, an identical run hits with identical diagnostics, and
+// an edit invalidates the entry.
+func TestRunCachedRoundTrip(t *testing.T) {
+	root := writeTempModule(t, map[string]string{"a/a.go": leakyLock})
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	analyzers := []*Analyzer{LockCheck()}
+
+	first, stats := RunCached(loadTempModule(t, root), analyzers, cacheDir)
+	if stats.Hits != 0 || stats.Misses == 0 {
+		t.Fatalf("first run: stats = %+v, want 0 hits and >0 misses", stats)
+	}
+	if len(first) != 1 {
+		t.Fatalf("first run: %d diagnostics, want 1 (the leaked lock); got %v",
+			len(first), diagStrings(first))
+	}
+
+	second, stats := RunCached(loadTempModule(t, root), analyzers, cacheDir)
+	if stats.Misses != 0 || stats.Hits == 0 {
+		t.Fatalf("unchanged re-run: stats = %+v, want all hits", stats)
+	}
+	if got, want := diagStrings(second), diagStrings(first); !equalStrings(got, want) {
+		t.Errorf("cached diagnostics differ:\n got %v\nwant %v", got, want)
+	}
+
+	// Fixing the file must invalidate the entry and clear the finding.
+	fixed := leakyLock + "\nfunc Unleak() { mu.Unlock() }\n"
+	if err := os.WriteFile(filepath.Join(root, "a", "a.go"), []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	third, stats := RunCached(loadTempModule(t, root), analyzers, cacheDir)
+	if stats.Hits != 0 {
+		t.Errorf("post-edit run: stats = %+v, want no hits", stats)
+	}
+	if len(third) != 1 {
+		t.Errorf("post-edit run: %d diagnostics, want 1 (leak unchanged); got %v",
+			len(third), diagStrings(third))
+	}
+}
+
+// TestRunCachedProgramHash checks the whole-program key: with a
+// NeedsProgram analyzer selected, editing ANY package invalidates every
+// package's entry (call-graph facts cross package boundaries).
+func TestRunCachedProgramHash(t *testing.T) {
+	root := writeTempModule(t, map[string]string{
+		"a/a.go": "package a\n\nfunc A() {}\n",
+		"b/b.go": "package b\n\nfunc B() {}\n",
+	})
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	analyzers := []*Analyzer{GoLeak()}
+
+	_, stats := RunCached(loadTempModule(t, root), analyzers, cacheDir)
+	if stats.Misses != 2 {
+		t.Fatalf("first run: stats = %+v, want 2 misses", stats)
+	}
+	_, stats = RunCached(loadTempModule(t, root), analyzers, cacheDir)
+	if stats.Hits != 2 {
+		t.Fatalf("unchanged re-run: stats = %+v, want 2 hits", stats)
+	}
+
+	if err := os.WriteFile(filepath.Join(root, "b", "b.go"),
+		[]byte("package b\n\nfunc B() {}\n\nfunc B2() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats = RunCached(loadTempModule(t, root), analyzers, cacheDir)
+	if stats.Hits != 0 || stats.Misses != 2 {
+		t.Errorf("post-edit run: stats = %+v, want 0 hits / 2 misses (conservative program key)", stats)
+	}
+}
+
+// TestRunCachedDisabled checks that an empty cacheDir never touches the
+// filesystem and reports every package as a miss.
+func TestRunCachedDisabled(t *testing.T) {
+	root := writeTempModule(t, map[string]string{"a/a.go": leakyLock})
+	pkgs := loadTempModule(t, root)
+	diags, stats := RunCached(pkgs, []*Analyzer{LockCheck()}, "")
+	if stats.Hits != 0 || stats.Misses != len(pkgs) {
+		t.Errorf("stats = %+v, want 0 hits / %d misses", stats, len(pkgs))
+	}
+	if len(diags) != 1 {
+		t.Errorf("%d diagnostics, want 1", len(diags))
+	}
+}
+
+// TestRunCachedCorruptEntry checks that a mangled cache file degrades to
+// a miss instead of failing or returning garbage.
+func TestRunCachedCorruptEntry(t *testing.T) {
+	root := writeTempModule(t, map[string]string{"a/a.go": leakyLock})
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	analyzers := []*Analyzer{LockCheck()}
+
+	first, _ := RunCached(loadTempModule(t, root), analyzers, cacheDir)
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache not populated: %v (%d entries)", err, len(entries))
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(filepath.Join(cacheDir, e.Name()), []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second, stats := RunCached(loadTempModule(t, root), analyzers, cacheDir)
+	if stats.Hits != 0 {
+		t.Errorf("corrupt entries hit: stats = %+v", stats)
+	}
+	if got, want := diagStrings(second), diagStrings(first); !equalStrings(got, want) {
+		t.Errorf("recomputed diagnostics differ:\n got %v\nwant %v", got, want)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

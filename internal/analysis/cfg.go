@@ -1,0 +1,417 @@
+package analysis
+
+// cfg.go builds per-function control-flow graphs. The CFG is the substrate
+// of the shared dataflow framework (dataflow.go): lockcheck's original
+// branch-aware interpreter was generalized into BuildCFG + Forward so that
+// every path-sensitive analyzer (lockcheck, closecheck) reasons over the
+// same graph instead of hand-rolling statement walkers.
+//
+// Granularity: blocks carry leaf statements and control expressions in
+// execution order. Statements that own nested bodies (if/for/range/switch/
+// select) are never appended whole — only their scrutinee expression is
+// (the if condition, the for condition, the range operand, the switch tag,
+// the select comm statement), so a transfer function never sees the same
+// code twice. Function literals are opaque values here; analyzers visit
+// their bodies as separate functions.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A Block is a straight-line run of nodes with explicit successor edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+
+	// Cond, when non-nil, is the branch condition evaluated at the end of
+	// this block: Succs[0] is the true edge and Succs[1] (if present) the
+	// false edge.
+	Cond ast.Expr
+	// Return is set when the block ends with an explicit return.
+	Return *ast.ReturnStmt
+	// Panics is set when the block ends with a call to the panic builtin.
+	Panics bool
+}
+
+// A CFG is the control-flow graph of one function body. Exit is a
+// synthetic empty block: return blocks, panic blocks and the final
+// fall-off-the-end block all flow into it.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// FallsOff reports whether b reaches Exit by running past the last
+// statement of the function (not via return or panic).
+func (g *CFG) FallsOff(b *Block) bool {
+	if b.Return != nil || b.Panics {
+		return false
+	}
+	for _, s := range b.Succs {
+		if s == g.Exit {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildCFG constructs the control-flow graph for one function body.
+// info may be nil; it is only used to recognize the panic builtin with
+// type information (the name is matched syntactically otherwise).
+func BuildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{
+		g:      &CFG{},
+		info:   info,
+		labels: map[string]*Block{},
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.g.Exit) // fall off the end
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, target)
+		} else {
+			b.edge(pg.from, b.g.Exit) // dangling goto: invalid Go, stay safe
+		}
+	}
+	return b.g
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// loopCtx records the break/continue targets of one enclosing loop,
+// switch or select statement.
+type loopCtx struct {
+	label     string
+	breakTo   *Block
+	continues *Block // nil for switch/select (no continue target)
+}
+
+type cfgBuilder struct {
+	g     *CFG
+	info  *types.Info
+	cur   *Block
+	loops []loopCtx
+	// label pending for the next loop/switch/select statement.
+	pendingLabel string
+	labels       map[string]*Block
+	gotos        []pendingGoto
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// start makes blk the current block.
+func (b *cfgBuilder) start(blk *Block) { b.cur = blk }
+
+// add appends a node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// takeLabel consumes the label pending for the statement being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findLoop resolves a break/continue target: the innermost context, or the
+// one carrying the label.
+func (b *cfgBuilder) findLoop(label string, needContinue bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := &b.loops[i]
+		if needContinue && lc.continues == nil {
+			continue
+		}
+		if label == "" || lc.label == label {
+			return lc
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		b.stmt(s)
+	}
+}
+
+// isPanicCall recognizes a call to the panic builtin.
+func (b *cfgBuilder) isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if b.info != nil {
+		if obj, ok := b.info.Uses[id]; ok {
+			_, builtin := obj.(*types.Builtin)
+			return builtin
+		}
+	}
+	return true
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.ExprStmt:
+		b.add(st)
+		if b.isPanicCall(st.X) {
+			b.cur.Panics = true
+			b.edge(b.cur, b.g.Exit)
+			b.start(b.newBlock()) // unreachable continuation
+		}
+
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.cur.Return = st
+		b.edge(b.cur, b.g.Exit)
+		b.start(b.newBlock())
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.add(st.Cond)
+		condBlk := b.cur
+		condBlk.Cond = st.Cond
+		after := b.newBlock()
+
+		then := b.newBlock()
+		b.edge(condBlk, then)
+		b.start(then)
+		b.stmtList(st.Body.List)
+		b.edge(b.cur, after)
+
+		if st.Else != nil {
+			els := b.newBlock()
+			b.edge(condBlk, els)
+			b.start(els)
+			b.stmt(st.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(condBlk, after)
+		}
+		b.start(after)
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		head := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head)
+		if lbl := label; lbl != "" {
+			b.labels[lbl] = head
+		}
+		body := b.newBlock()
+		post := head
+		if st.Post != nil {
+			post = b.newBlock()
+		}
+
+		b.start(head)
+		if st.Cond != nil {
+			b.add(st.Cond)
+			head = b.cur // cond may not split blocks, but keep current
+			head.Cond = st.Cond
+			b.edge(head, body)
+			b.edge(head, after)
+		} else {
+			b.edge(b.cur, body)
+		}
+
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after, continues: post})
+		b.start(body)
+		b.stmtList(st.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.cur, post)
+		if st.Post != nil {
+			b.start(post)
+			b.stmt(st.Post)
+			b.edge(b.cur, head)
+		}
+		b.start(after)
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head)
+		if label != "" {
+			b.labels[label] = head
+		}
+		b.start(head)
+		b.add(st.X) // the ranged operand is evaluated at the head
+		b.edge(head, after)
+		body := b.newBlock()
+		b.edge(head, body)
+
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after, continues: head})
+		b.start(body)
+		b.stmtList(st.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.cur, head)
+		b.start(after)
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		var init ast.Stmt
+		var scrutinee ast.Node
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, scrutinee, clauses = sw.Init, sw.Tag, sw.Body.List
+		case *ast.TypeSwitchStmt:
+			init, scrutinee, clauses = sw.Init, sw.Assign, sw.Body.List
+		}
+		if init != nil {
+			b.stmt(init)
+		}
+		if scrutinee != nil {
+			b.add(scrutinee)
+		}
+		head := b.cur
+		after := b.newBlock()
+
+		// Pre-create clause blocks so fallthrough can target the next one.
+		blocks := make([]*Block, len(clauses))
+		hasDefault := false
+		for i, cl := range clauses {
+			blocks[i] = b.newBlock()
+			b.edge(head, blocks[i])
+			if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			b.edge(head, after) // no case may match
+		}
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after})
+		for i, cl := range clauses {
+			cc := cl.(*ast.CaseClause)
+			b.start(blocks[i])
+			var next *Block
+			if i+1 < len(blocks) {
+				next = blocks[i+1]
+			}
+			b.caseBody(cc.Body, next, after)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.start(after)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after})
+		for _, cl := range st.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.start(blk)
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		// A select with no cases blocks forever; otherwise some case runs,
+		// so there is deliberately no head->after skip edge.
+		if len(st.Body.List) == 0 {
+			b.edge(head, b.g.Exit)
+		}
+		b.start(after)
+
+	case *ast.BranchStmt:
+		label := ""
+		if st.Label != nil {
+			label = st.Label.Name
+		}
+		switch st.Tok {
+		case token.BREAK:
+			if lc := b.findLoop(label, false); lc != nil {
+				b.edge(b.cur, lc.breakTo)
+			} else {
+				b.edge(b.cur, b.g.Exit)
+			}
+		case token.CONTINUE:
+			if lc := b.findLoop(label, true); lc != nil {
+				b.edge(b.cur, lc.continues)
+			} else {
+				b.edge(b.cur, b.g.Exit)
+			}
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+		case token.FALLTHROUGH:
+			// Handled by caseBody; a stray fallthrough is invalid Go.
+		}
+		b.start(b.newBlock()) // unreachable continuation
+
+	case *ast.LabeledStmt:
+		name := st.Label.Name
+		switch st.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = name
+			b.stmt(st.Stmt)
+		default:
+			target := b.newBlock()
+			b.labels[name] = target
+			b.edge(b.cur, target)
+			b.start(target)
+			b.stmt(st.Stmt)
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Leaf statements: assignments, declarations, inc/dec, send, go,
+		// defer. They carry no nested control flow bodies of their own
+		// (function literals are opaque values).
+		b.add(s)
+	}
+}
+
+// caseBody builds one switch case body; fallthrough (always the last
+// statement of a case) jumps to next, everything else exits to after.
+func (b *cfgBuilder) caseBody(body []ast.Stmt, next, after *Block) {
+	for _, s := range body {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			if next != nil {
+				b.edge(b.cur, next)
+			}
+			b.start(b.newBlock())
+			return
+		}
+		b.stmt(s)
+	}
+	b.edge(b.cur, after)
+}

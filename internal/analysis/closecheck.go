@@ -1,0 +1,606 @@
+package analysis
+
+// closecheck.go: resources that expose Close/Stop must be released on every
+// path of the function that acquired them — including error and failover
+// paths. The analyzer tracks acquisitions through the dataflow framework
+// (one CFG per function, a map of variable → resource state as the fact)
+// and reports any resource still open when a path reaches a return or
+// falls off the end of the function.
+//
+// Tracked origins and their release calls:
+//
+//	(*http.Client).Do, http.Get/Head/Post/PostForm  → resp.Body.Close()
+//	os.Open/OpenFile/Create/CreateTemp              → f.Close()
+//	net.Listen/ListenTCP/ListenUnix                 → ln.Close()
+//	time.NewTicker                                  → t.Stop()
+//
+// A resource stops being this function's problem when ownership provably
+// transfers: it is returned, stored into a composite/field/global, sent on
+// a channel, captured by a function literal, or passed to a callee that
+// (per a one-hop call-graph summary) releases or keeps it. The error
+// companion of an acquisition is understood: on the `err != nil` branch of
+// `resp, err := client.Do(req)` the response is nil by contract and needs
+// no Close.
+//
+// Applicability boundary (docs/ANALYSIS.md): tracking is per-variable and
+// flow-sensitive but not alias-aware — copying the resource into a second
+// variable counts as an ownership transfer, not a tracked alias. Resources
+// acquired into struct fields are not tracked (their lifetime belongs to
+// the struct's Close). Callees outside the module are trusted to release
+// what they are handed.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CloseCheck returns the resource-release analyzer.
+func CloseCheck() *Analyzer {
+	return &Analyzer{
+		Name: "closecheck",
+		Doc: "resources with Close/Stop (http response bodies, files, " +
+			"listeners, tickers) must be released on every path, including " +
+			"error and failover paths; ownership transfers (return, store, " +
+			"releasing callee) discharge the obligation",
+		Run:          runCloseCheck,
+		NeedsProgram: true,
+	}
+}
+
+// Resource states, ordered so Join can take the maximum: a path where the
+// resource is still open dominates any path where it is discharged.
+const (
+	resNil     = iota // error-branch contract: the resource was never live
+	resHandled        // closed, stopped, or ownership transferred
+	resOpen           // live and this function's responsibility
+)
+
+// A resource is one tracked acquisition.
+type resource struct {
+	state  int
+	kind   string     // "body", "file", "listener", "ticker"
+	origin token.Pos  // the acquiring call, where findings are reported
+	what   string     // human description for the message
+	errVar *types.Var // companion error assigned by the same statement
+}
+
+// closeFact maps each tracked variable to its resource state.
+type closeFact map[*types.Var]*resource
+
+// closeLattice implements CondLattice for resource tracking.
+type closeLattice struct {
+	pass *Pass
+	cg   *CallGraph
+}
+
+func (l *closeLattice) Entry() Fact { return closeFact{} }
+
+func (l *closeLattice) Clone(f Fact) Fact {
+	out := closeFact{}
+	for v, r := range f.(closeFact) {
+		cp := *r
+		out[v] = &cp
+	}
+	return out
+}
+
+func (l *closeLattice) Equal(a, b Fact) bool {
+	x, y := a.(closeFact), b.(closeFact)
+	if len(x) != len(y) {
+		return false
+	}
+	for v, r := range x {
+		s, ok := y[v]
+		if !ok || s.state != r.state {
+			return false
+		}
+	}
+	return true
+}
+
+// Join merges two paths: a resource open on either side stays open
+// (max over the state order); one tracked on only one side keeps its
+// sole record.
+func (l *closeLattice) Join(a, b Fact) Fact {
+	x, y := a.(closeFact), b.(closeFact)
+	out := l.Clone(x).(closeFact)
+	for v, r := range y {
+		if have, ok := out[v]; ok {
+			if r.state > have.state {
+				have.state = r.state
+			}
+		} else {
+			cp := *r
+			out[v] = &cp
+		}
+	}
+	return out
+}
+
+func (l *closeLattice) Transfer(n ast.Node, f Fact) Fact {
+	fact := f.(closeFact)
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		l.transferEscapes(s, fact)
+		l.transferAcquire(s, fact)
+		return fact
+	case *ast.DeferStmt:
+		l.transferDefer(s, fact)
+		return fact
+	}
+	l.transferEscapes(n, fact)
+	return fact
+}
+
+// TransferCond refines facts along branch edges: after `if err != nil`
+// (true edge) the resources whose companion error is err are nil by the
+// acquiring API's contract; likewise `if v == nil` for the resource itself.
+func (l *closeLattice) TransferCond(cond ast.Expr, isTrue bool, f Fact) Fact {
+	fact := f.(closeFact)
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return fact
+	}
+	var operand ast.Expr
+	switch {
+	case isNilIdent(bin.Y):
+		operand = bin.X
+	case isNilIdent(bin.X):
+		operand = bin.Y
+	default:
+		return fact
+	}
+	// Does this edge assert the operand IS nil?
+	var operandNil bool
+	switch bin.Op {
+	case token.EQL:
+		operandNil = isTrue
+	case token.NEQ:
+		operandNil = !isTrue
+	default:
+		return fact
+	}
+	id, ok := ast.Unparen(operand).(*ast.Ident)
+	if !ok {
+		return fact
+	}
+	obj, _ := l.pass.Pkg.Info.Uses[id].(*types.Var)
+	if obj == nil {
+		return fact
+	}
+	for v, r := range fact {
+		if r.state != resOpen {
+			continue
+		}
+		// Edge where err is non-nil: the companion resource never became
+		// live (the acquiring APIs return a nil resource alongside an error).
+		if r.errVar == obj && !operandNil {
+			r.state = resNil
+		}
+		// Edge where the resource itself is nil.
+		if v == obj && operandNil {
+			r.state = resNil
+		}
+	}
+	return fact
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// transferAcquire registers new resources from `v, err := origin(...)`
+// style assignments.
+func (l *closeLattice) transferAcquire(s *ast.AssignStmt, fact closeFact) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	kind, what := l.origin(call)
+	if kind == "" {
+		return
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	v := l.defOrUse(id)
+	if v == nil {
+		return
+	}
+	var errVar *types.Var
+	if len(s.Lhs) == 2 {
+		if eid, ok := s.Lhs[1].(*ast.Ident); ok && eid.Name != "_" {
+			errVar = l.defOrUse(eid)
+		}
+	}
+	fact[v] = &resource{
+		state:  resOpen,
+		kind:   kind,
+		origin: call.Pos(),
+		what:   what,
+		errVar: errVar,
+	}
+}
+
+// origin classifies a call as a resource acquisition, returning the
+// resource kind and a description ("" when not an origin).
+func (l *closeLattice) origin(call *ast.CallExpr) (kind, what string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	info := l.pass.Pkg.Info
+	// Method origin: (*http.Client).Do.
+	if selection, ok := info.Selections[sel]; ok {
+		fn, ok := selection.Obj().(*types.Func)
+		if ok && fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "Do" {
+			return "body", "http response (Body must be closed)"
+		}
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	switch fn.Pkg().Path() {
+	case "net/http":
+		switch fn.Name() {
+		case "Get", "Head", "Post", "PostForm":
+			return "body", "http response (Body must be closed)"
+		}
+	case "os":
+		switch fn.Name() {
+		case "Open", "OpenFile", "Create", "CreateTemp":
+			return "file", "file"
+		}
+	case "net":
+		switch fn.Name() {
+		case "Listen", "ListenTCP", "ListenUnix":
+			return "listener", "listener"
+		}
+	case "time":
+		if fn.Name() == "NewTicker" {
+			return "ticker", "ticker (Stop releases its timer)"
+		}
+	}
+	return "", ""
+}
+
+// transferDefer discharges resources released by a defer: the release runs
+// at function exit on every path that executed this statement.
+func (l *closeLattice) transferDefer(s *ast.DeferStmt, fact closeFact) {
+	// defer v.Close() / defer resp.Body.Close() / defer t.Stop().
+	if v := l.releaseTarget(s.Call, fact); v != nil {
+		fact[v].state = resHandled
+		return
+	}
+	// defer func() { ...; v.Close(); ... }() — scan the closure body for
+	// direct releases, then fall through: a capture is a transfer anyway,
+	// and `defer cleanup(f)` consults the callee like any call.
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if v := l.releaseTarget(call, fact); v != nil {
+					fact[v].state = resHandled
+				}
+			}
+			return true
+		})
+	}
+	l.transferEscapes(s.Call, fact)
+}
+
+// releaseTarget returns the tracked variable a call releases, or nil:
+// v.Close(), t.Stop(), resp.Body.Close().
+func (l *closeLattice) releaseTarget(call *ast.CallExpr, fact closeFact) *types.Var {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	name := sel.Sel.Name
+	if name != "Close" && name != "Stop" {
+		return nil
+	}
+	base := ast.Unparen(sel.X)
+	// resp.Body.Close(): unwrap the Body selector.
+	if inner, ok := base.(*ast.SelectorExpr); ok && inner.Sel.Name == "Body" {
+		base = ast.Unparen(inner.X)
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := l.pass.Pkg.Info.Uses[id].(*types.Var)
+	if v == nil {
+		return nil
+	}
+	if r, ok := fact[v]; ok {
+		// A body resource is only discharged via resp.Body.Close() (or the
+		// generic Close on kinds that define it).
+		if r.kind == "ticker" && name != "Stop" {
+			return nil
+		}
+		if r.kind != "ticker" && name != "Close" {
+			return nil
+		}
+		return v
+	}
+	return nil
+}
+
+// transferEscapes discharges resources whose ownership leaves this
+// function within node n: direct release calls, returns, stores, channel
+// sends, address-taking, closure capture, alias assignment, or passing to
+// a callee that takes responsibility. Reads through the resource (selector
+// bases like resp.StatusCode) and nil comparisons are not transfers.
+func (l *closeLattice) transferEscapes(n ast.Node, fact closeFact) {
+	if n == nil || len(fact) == 0 {
+		return
+	}
+	info := l.pass.Pkg.Info
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.CallExpr:
+			// Release call on a tracked variable.
+			if tv := l.releaseTarget(v, fact); tv != nil {
+				fact[tv].state = resHandled
+				return false
+			}
+			// Tracked variables passed as plain-ident arguments consult the
+			// callee; other argument shapes recurse. The callee expression
+			// recurses too (a method receiver is a read, handled below; a
+			// closure capture is a transfer, handled by the Ident case).
+			l.transferEscapes(v.Fun, fact)
+			for i, arg := range v.Args {
+				id, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok {
+					l.transferEscapes(arg, fact)
+					continue
+				}
+				av, _ := info.Uses[id].(*types.Var)
+				if av == nil {
+					continue
+				}
+				r, ok := fact[av]
+				if !ok || r.state != resOpen {
+					continue
+				}
+				if l.calleeTakesOwnership(v, i) {
+					r.state = resHandled
+				}
+			}
+			return false
+		case *ast.BinaryExpr:
+			// Comparisons never transfer ownership (`resp == nil`,
+			// `f != old`); other binary operators cannot involve resources.
+			return false
+		case *ast.SelectorExpr:
+			// v.Field / v.Method — a read through the resource.
+			if _, ok := ast.Unparen(v.X).(*ast.Ident); ok {
+				return false
+			}
+			return true
+		case *ast.Ident:
+			// Any other appearance of the tracked variable transfers
+			// ownership: return value, composite literal, send, assignment
+			// alias, &v, capture in a function literal.
+			av, _ := info.Uses[v].(*types.Var)
+			if av == nil {
+				return true
+			}
+			if r, ok := fact[av]; ok && r.state == resOpen {
+				r.state = resHandled
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// calleeTakesOwnership reports whether passing a resource as argument i of
+// call discharges the caller's obligation: external callees are trusted;
+// module-internal callees are consulted via a one-hop summary (does the
+// callee release the parameter, defer its release, return it, store it, or
+// hand it onward?).
+func (l *closeLattice) calleeTakesOwnership(call *ast.CallExpr, argIdx int) bool {
+	site := l.cg.SiteOf(call)
+	if site == nil || site.Unresolved || len(site.Callees) == 0 {
+		return true // external or untracked: trust it
+	}
+	for _, callee := range site.Callees {
+		if releasesParam(l.cg, callee, argIdx, map[paramKey]bool{}) {
+			return true
+		}
+	}
+	return false
+}
+
+type paramKey struct {
+	fn  *FuncNode
+	idx int
+}
+
+// releasesParam reports whether fn releases (or takes ownership of) its
+// argIdx-th parameter. The scan is syntactic over the callee body:
+// param.Close()/Stop()/Body.Close() (direct or deferred), returning the
+// parameter, assigning it anywhere, capturing it, or forwarding it to
+// another function that does (recursion is memoised; cycles resolve
+// optimistically — a mutually recursive releaser is still a releaser).
+func releasesParam(cg *CallGraph, fn *FuncNode, argIdx int, seen map[paramKey]bool) bool {
+	key := paramKey{fn, argIdx}
+	if done, ok := seen[key]; ok {
+		return done
+	}
+	seen[key] = true // optimistic: cycles count as releasing
+	body := fn.Body()
+	if body == nil {
+		seen[key] = true
+		return true // bodiless (external linkname etc.): trust
+	}
+	// Find the parameter object.
+	params := fn.Type().Params
+	if params == nil {
+		seen[key] = false
+		return false
+	}
+	var param *types.Var
+	i := 0
+	for _, field := range params.List {
+		for _, name := range field.Names {
+			if i == argIdx {
+				param, _ = fn.Pkg.Info.Defs[name].(*types.Var)
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	if param == nil {
+		seen[key] = false
+		return false
+	}
+	result := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if result {
+			return false
+		}
+		switch v := x.(type) {
+		case *ast.CallExpr:
+			// param.Close() / param.Stop() / param.Body.Close().
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Close" || sel.Sel.Name == "Stop") {
+				base := ast.Unparen(sel.X)
+				if inner, ok := base.(*ast.SelectorExpr); ok && inner.Sel.Name == "Body" {
+					base = ast.Unparen(inner.X)
+				}
+				if id, ok := base.(*ast.Ident); ok && fn.Pkg.Info.Uses[id] == param {
+					result = true
+					return false
+				}
+			}
+			// Forwarded to another function in the matching position.
+			for ai, arg := range v.Args {
+				id, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok || fn.Pkg.Info.Uses[id] != param {
+					continue
+				}
+				site := cg.SiteOf(v)
+				if site == nil || site.Unresolved || len(site.Callees) == 0 {
+					result = true // handed to an external callee: trusted
+					return false
+				}
+				for _, callee := range site.Callees {
+					if releasesParam(cg, callee, ai, seen) {
+						result = true
+						return false
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range v.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok && fn.Pkg.Info.Uses[id] == param {
+					result = true // ownership returns to the caller's caller
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range v.Rhs {
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && fn.Pkg.Info.Uses[id] == param {
+					result = true // stored: the store's owner releases it
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range v.Elts {
+				e := elt
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if id, ok := ast.Unparen(e).(*ast.Ident); ok && fn.Pkg.Info.Uses[id] == param {
+					result = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	seen[key] = result
+	return result
+}
+
+func (l *closeLattice) defOrUse(id *ast.Ident) *types.Var {
+	info := l.pass.Pkg.Info
+	if obj, ok := info.Defs[id].(*types.Var); ok {
+		return obj
+	}
+	obj, _ := info.Uses[id].(*types.Var)
+	return obj
+}
+
+func runCloseCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkCloseBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				// Each literal is its own scope for acquisitions; keep
+				// descending so literals nested inside it get their own
+				// analysis too.
+				checkCloseBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkCloseBody runs the resource lattice over one function body and
+// reports resources still open when a path leaves the function.
+func checkCloseBody(pass *Pass, body *ast.BlockStmt) {
+	var cg *CallGraph
+	if pass.Prog != nil {
+		cg = pass.Prog.Graph
+	}
+	if cg == nil {
+		return
+	}
+	lat := &closeLattice{pass: pass, cg: cg}
+	g := BuildCFG(body, pass.Pkg.Info)
+	in := Forward(g, lat)
+	reported := map[token.Pos]bool{}
+	reportOpen := func(fact closeFact, where string) {
+		for _, r := range fact {
+			if r.state != resOpen || reported[r.origin] {
+				continue
+			}
+			reported[r.origin] = true
+			pass.Reportf(r.origin,
+				"%s is not released on every path (%s without Close/Stop); release it on error and failover paths too",
+				r.what, where)
+		}
+	}
+	Walk(g, lat, in,
+		func(n ast.Node, before Fact) {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				// Apply the return's own effects (returning the resource is
+				// a transfer) to a private copy before judging it.
+				f := lat.Clone(before).(closeFact)
+				lat.transferEscapes(ret, f)
+				reportOpen(f, "a return path leaves it open")
+			}
+		},
+		func(b *Block, out Fact) {
+			if g.FallsOff(b) {
+				reportOpen(out.(closeFact), "it is still open at the end of the function")
+			}
+		})
+}

@@ -1,0 +1,299 @@
+package analysis
+
+// ctxflow.go: request-scoped code must thread context.Context correctly.
+// Four rules, all per-function over go/types:
+//
+//  1. A context.Context parameter must come first (right after the
+//     receiver), matching the stdlib convention — mixed orders make it
+//     too easy to drop the caller's deadline on the floor.
+//  2. Request-scoped functions (those that receive a ctx or an
+//     *http.Request) must not mint fresh roots with context.Background()
+//     or context.TODO(): deriving from the incoming context is what makes
+//     cancellation and deadlines propagate. Detaching intentionally is a
+//     //lint:ignore with a reason.
+//  3. http.NewRequest produces a context-less request; use
+//     http.NewRequestWithContext so the caller's cancellation reaches the
+//     transport.
+//  4. Inside a function that receives a ctx, a blocking channel send or
+//     receive outside any select cannot be interrupted; wrap it in a
+//     select that also consults ctx.Done(). Likewise an (*os.File).Sync —
+//     a journal fsync on the request path — must be preceded by a
+//     cancellation consult (ctx.Err() or ctx.Done()) in the same function.
+//
+// Applicability boundary (docs/ANALYSIS.md): the analyzer reasons about
+// one function at a time; it cannot see a context stashed in a struct
+// field, nor prove that a channel operation is non-blocking (a buffered
+// channel with guaranteed capacity still gets flagged — suppress with a
+// reason if the invariant holds). Lifecycle roots (constructors, mains,
+// background daemons without a ctx parameter) are deliberately outside
+// the rules: no ctx parameter, no obligations.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow returns the context-propagation analyzer.
+func CtxFlow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc: "context.Context parameters come first; request-scoped code " +
+			"(ctx or *http.Request in scope) must not call " +
+			"context.Background()/TODO(); http.NewRequest must be " +
+			"NewRequestWithContext; blocking channel ops and fsyncs in " +
+			"ctx-bearing functions must consult cancellation",
+		Run: runCtxFlow,
+	}
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkCtxFunc(pass, fn.Type, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkCtxFunc(pass, fn.Type, fn.Body)
+				return false // checkCtxFunc recurses into nested literals
+			}
+			return true
+		})
+	}
+}
+
+// isContextType matches the context.Context interface type.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isHTTPRequestPtr matches *net/http.Request.
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}
+
+// ctxParams classifies the parameter list: the index of the first
+// context.Context parameter (-1 if none), whether any *http.Request
+// parameter exists, and the ctx parameter objects (for consult checks).
+func ctxParams(pass *Pass, ft *ast.FuncType) (ctxIndex int, hasReq bool, ctxVars map[types.Object]bool) {
+	ctxIndex = -1
+	if ft.Params == nil {
+		return
+	}
+	i := 0
+	for _, field := range ft.Params.List {
+		tv, ok := pass.Pkg.Info.Types[field.Type]
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if ok && isContextType(tv.Type) {
+			if ctxIndex < 0 {
+				ctxIndex = i
+			}
+			for _, name := range field.Names {
+				if obj := pass.Pkg.Info.Defs[name]; obj != nil {
+					if ctxVars == nil {
+						ctxVars = map[types.Object]bool{}
+					}
+					ctxVars[obj] = true
+				}
+			}
+		}
+		if ok && isHTTPRequestPtr(tv.Type) {
+			hasReq = true
+		}
+		i += n
+	}
+	return
+}
+
+// checkCtxFunc applies the four rules to one function. Nested literals
+// are visited here (rules 2–4 depend on the *enclosing* signature, and a
+// literal inside a request-scoped function inherits its obligations only
+// if it captures the ctx — we analyse each literal against its own
+// signature instead, the conservative per-function boundary).
+func checkCtxFunc(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	ctxIndex, hasReq, ctxVars := ctxParams(pass, ft)
+
+	// Rule 1: ctx must be the first parameter.
+	if ctxIndex > 0 {
+		pass.Reportf(ft.Params.Pos(),
+			"context.Context must be the first parameter (found at position %d); keep ctx first so call sites never drop it",
+			ctxIndex+1)
+	}
+
+	requestScoped := ctxIndex >= 0 || hasReq
+
+	// consultPositions collects where ctx.Done()/ctx.Err() are consulted
+	// (for the fsync-ordering rule).
+	var consults []int
+
+	// First pass: find cancellation consults.
+	if len(ctxVars) > 0 {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Err") {
+				return true
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if obj := pass.Pkg.Info.Uses[id]; obj != nil && ctxVars[obj] {
+					consults = append(consults, pass.Pkg.Fset.Position(call.Pos()).Offset)
+				}
+			}
+			return true
+		})
+	}
+	consultedBefore := func(pos int) bool {
+		for _, c := range consults {
+			if c < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Second pass: the rules themselves. selectDepth tracks whether we are
+	// lexically inside a select statement (comm clauses and their bodies):
+	// a send/receive that is a select comm is by construction cancellable
+	// when a Done case exists, and flagging case bodies separately would
+	// double-report the same wait point.
+	var walk func(n ast.Node, inSelect bool)
+	walk = func(n ast.Node, inSelect bool) {
+		if n == nil {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			checkCtxFunc(pass, s.Type, s.Body)
+			return
+		case *ast.SelectStmt:
+			for _, cl := range s.Body.List {
+				cc := cl.(*ast.CommClause)
+				if cc.Comm != nil {
+					walk(cc.Comm, true)
+				}
+				for _, b := range cc.Body {
+					walk(b, true)
+				}
+			}
+			return
+		case *ast.CallExpr:
+			checkCtxCall(pass, s, requestScoped, ctxVars, consultedBefore)
+		case *ast.SendStmt:
+			if len(ctxVars) > 0 && !inSelect {
+				pass.Reportf(s.Pos(),
+					"blocking channel send in a ctx-bearing function outside select; use `select { case ch <- v: case <-ctx.Done(): }`")
+			}
+		case *ast.UnaryExpr:
+			if s.Op.String() == "<-" && len(ctxVars) > 0 && !inSelect && !isDoneChan(pass, ctxVars, s.X) {
+				pass.Reportf(s.Pos(),
+					"blocking channel receive in a ctx-bearing function outside select; use `select { case v := <-ch: case <-ctx.Done(): }`")
+			}
+		}
+		for _, c := range childNodes(n) {
+			walk(c, inSelect)
+		}
+	}
+	walk(body, false)
+}
+
+// checkCtxCall enforces rules 2 (no fresh roots in request-scoped code),
+// 3 (NewRequestWithContext) and the fsync half of rule 4.
+func checkCtxCall(pass *Pass, call *ast.CallExpr, requestScoped bool,
+	ctxVars map[types.Object]bool, consultedBefore func(int) bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Method calls: (*os.File).Sync ordering in ctx-bearing functions.
+	if selection, ok := pass.Pkg.Info.Selections[sel]; ok {
+		if len(ctxVars) > 0 && sel.Sel.Name == "Sync" {
+			if fn, ok := selection.Obj().(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "os" {
+				if !consultedBefore(pass.Pkg.Fset.Position(call.Pos()).Offset) {
+					pass.Reportf(call.Pos(),
+						"fsync on the request path without consulting cancellation first; check ctx.Err() before paying the sync cost")
+				}
+			}
+		}
+		return
+	}
+	// Package-qualified calls.
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "context":
+		if requestScoped && (fn.Name() == "Background" || fn.Name() == "TODO") {
+			pass.Reportf(call.Pos(),
+				"context.%s() in request-scoped code severs cancellation; derive from the incoming context (use //lint:ignore ctxflow <reason> for an intentional detach)",
+				fn.Name())
+		}
+	case "net/http":
+		if fn.Name() == "NewRequest" {
+			pass.Reportf(call.Pos(),
+				"http.NewRequest builds a context-less request; use http.NewRequestWithContext so cancellation reaches the transport")
+		}
+	}
+}
+
+// isDoneChan reports whether e is ctx.Done() for a known ctx variable —
+// receiving from it *is* the cancellation consult.
+func isDoneChan(pass *Pass, ctxVars map[types.Object]bool, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Pkg.Info.Uses[id]
+	return obj != nil && ctxVars[obj]
+}
+
+// childNodes returns the direct AST children of n (a minimal generic
+// walker; ast.Inspect cannot carry the inSelect flag).
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	firstLevel := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if firstLevel {
+			firstLevel = false
+			return true
+		}
+		out = append(out, c)
+		return false
+	})
+	return out
+}

@@ -1,0 +1,108 @@
+package analysis
+
+// dataflow.go is a small forward dataflow framework: a worklist solver
+// over the per-function CFGs of cfg.go. An analyzer supplies a Lattice
+// (abstract state + transfer function); the solver computes a fixpoint of
+// block-entry facts, and Walk replays one deterministic pass over every
+// reachable block so the analyzer can report with converged facts in hand.
+// Reports must happen in Walk, never in Transfer: Transfer runs an
+// unbounded number of times during the fixpoint iteration.
+
+import "go/ast"
+
+// A Fact is one analyzer's abstract state at a program point. nil means
+// "unreachable" and never flows through Transfer or Join.
+type Fact = any
+
+// A Lattice defines one forward dataflow problem. Facts must form a
+// finite-height lattice under Join for the solver to terminate.
+type Lattice interface {
+	// Entry returns the fact at function entry.
+	Entry() Fact
+	// Clone returns an independent copy; the solver always hands Transfer
+	// a private clone, so Transfer may mutate its argument freely.
+	Clone(Fact) Fact
+	// Transfer applies the effect of one CFG node and returns the
+	// resulting fact (conventionally its — possibly mutated — argument).
+	Transfer(n ast.Node, f Fact) Fact
+	// Join merges the facts of two converging edges into a new fact;
+	// it must not mutate either argument.
+	Join(a, b Fact) Fact
+	// Equal reports whether two facts are indistinguishable (fixpoint test).
+	Equal(a, b Fact) bool
+}
+
+// A CondLattice additionally refines facts along branch edges: after the
+// condition cond evaluates, the true edge sees TransferCond(cond, true, f)
+// and the false edge TransferCond(cond, false, f). f is a private clone.
+type CondLattice interface {
+	Lattice
+	TransferCond(cond ast.Expr, isTrue bool, f Fact) Fact
+}
+
+// Forward solves the dataflow problem to fixpoint and returns the entry
+// fact of every reachable block. Blocks absent from the map are
+// unreachable.
+func Forward(g *CFG, lat Lattice) map[*Block]Fact {
+	cond, hasCond := lat.(CondLattice)
+	in := map[*Block]Fact{g.Entry: lat.Entry()}
+	queued := make([]bool, len(g.Blocks))
+	work := []*Block{g.Entry}
+	queued[g.Entry.Index] = true
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		f := lat.Clone(in[b])
+		for _, n := range b.Nodes {
+			f = lat.Transfer(n, f)
+		}
+		for i, s := range b.Succs {
+			sf := lat.Clone(f)
+			if hasCond && b.Cond != nil && i < 2 {
+				sf = cond.TransferCond(b.Cond, i == 0, sf)
+			}
+			prev, ok := in[s]
+			if !ok {
+				in[s] = sf
+			} else {
+				joined := lat.Join(prev, sf)
+				if lat.Equal(prev, joined) {
+					continue
+				}
+				in[s] = joined
+			}
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// Walk replays one pass over every reachable block in index order with the
+// converged facts from Forward: visit observes the fact in force *before*
+// each node, and blockEnd (optional) the fact after the block's last node.
+// This is where analyzers report — each node is visited exactly once.
+func Walk(g *CFG, lat Lattice, in map[*Block]Fact,
+	visit func(n ast.Node, before Fact), blockEnd func(b *Block, out Fact)) {
+	for _, b := range g.Blocks {
+		entry, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		f := lat.Clone(entry)
+		for _, n := range b.Nodes {
+			if visit != nil {
+				visit(n, f)
+			}
+			f = lat.Transfer(n, f)
+		}
+		if blockEnd != nil {
+			blockEnd(b, f)
+		}
+	}
+}

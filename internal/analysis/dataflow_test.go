@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// parseFuncBody parses src (a complete file) and returns the body of the
+// first function declaration. The CFG builder tolerates a nil *types.Info,
+// so no type checking is needed here.
+func parseFuncBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// assignLattice is a may-assign analysis for the solver tests: the fact is
+// the set of variable names that may have been assigned on some path.
+type assignLattice struct{}
+
+func (assignLattice) Entry() Fact { return map[string]bool{} }
+
+func (assignLattice) Clone(f Fact) Fact {
+	out := map[string]bool{}
+	for k, v := range f.(map[string]bool) {
+		out[k] = v
+	}
+	return out
+}
+
+func (assignLattice) Transfer(n ast.Node, f Fact) Fact {
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				f.(map[string]bool)[id.Name] = true
+			}
+		}
+	}
+	return f
+}
+
+func (l assignLattice) Join(a, b Fact) Fact {
+	out := l.Clone(a).(map[string]bool)
+	for k := range b.(map[string]bool) {
+		out[k] = true
+	}
+	return out
+}
+
+func (assignLattice) Equal(a, b Fact) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+func names(f Fact) []string {
+	var out []string
+	for k := range f.(map[string]bool) {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestForwardDiamond checks Join across an if/else: assignments from both
+// arms must be visible after the merge.
+func TestForwardDiamond(t *testing.T) {
+	body := parseFuncBody(t, `package p
+func f(c bool) {
+	a := 1
+	if c {
+		b := 2
+		_ = b
+	} else {
+		d := 3
+		_ = d
+	}
+	e := a
+	_ = e
+}`)
+	g := BuildCFG(body, nil)
+	in := Forward(g, assignLattice{})
+	exit, ok := in[g.Exit]
+	if !ok {
+		t.Fatal("exit block unreachable")
+	}
+	// The exit fact is the block-entry fact of Exit, i.e. everything
+	// assigned on some path through the function.
+	want := []string{"a", "b", "d", "e"}
+	if got := names(exit); !reflect.DeepEqual(got, want) {
+		t.Errorf("may-assign at exit = %v, want %v", got, want)
+	}
+}
+
+// TestForwardLoop checks the worklist revisits the loop header until the
+// back edge stabilizes: body assignments must reach the header fact.
+func TestForwardLoop(t *testing.T) {
+	body := parseFuncBody(t, `package p
+func g(n int) {
+	total := 0
+	for i := 0; i < n; i++ {
+		total = total + i
+	}
+	_ = total
+}`)
+	g := BuildCFG(body, nil)
+	in := Forward(g, assignLattice{})
+	exit, ok := in[g.Exit]
+	if !ok {
+		t.Fatal("exit block unreachable")
+	}
+	for _, v := range []string{"total", "i"} {
+		if !exit.(map[string]bool)[v] {
+			t.Errorf("may-assign at exit missing %q (back edge not propagated); got %v",
+				v, names(exit))
+		}
+	}
+	// The loop condition block joins entry and back-edge facts; find it
+	// (the block whose Cond is the i < n comparison) and demand the loop
+	// body's assignment arrived there.
+	found := false
+	for _, b := range g.Blocks {
+		if b.Cond == nil {
+			continue
+		}
+		if bin, ok := b.Cond.(*ast.BinaryExpr); ok && bin.Op == token.LSS {
+			found = true
+			f := in[b]
+			if f == nil || !f.(map[string]bool)["total"] {
+				t.Errorf("loop header fact %v lacks body assignment", names(f))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no loop condition block in CFG")
+	}
+}
+
+// nilLattice tracks whether p is proven non-nil, refined only by
+// TransferCond on `p != nil` / `p == nil` branches.
+type nilLattice struct{ assignLattice }
+
+func (nilLattice) Entry() Fact { return map[string]bool{} }
+
+func (l nilLattice) TransferCond(cond ast.Expr, isTrue bool, f Fact) Fact {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return f
+	}
+	id, ok := bin.X.(*ast.Ident)
+	if !ok {
+		return f
+	}
+	if nilIdent, ok := bin.Y.(*ast.Ident); !ok || nilIdent.Name != "nil" {
+		return f
+	}
+	// p != nil on the true edge, or p == nil on the false edge → non-nil.
+	if (bin.Op == token.NEQ) == isTrue {
+		f.(map[string]bool)[id.Name] = true
+	} else {
+		delete(f.(map[string]bool), id.Name)
+	}
+	return f
+}
+
+// TestTransferCond checks branch-edge refinement: the dereferencing
+// return sees p proven non-nil, the other return does not.
+func TestTransferCond(t *testing.T) {
+	body := parseFuncBody(t, `package p
+func h(p *int) int {
+	if p != nil {
+		return *p
+	}
+	return 0
+}`)
+	g := BuildCFG(body, nil)
+	lat := nilLattice{}
+	in := Forward(g, lat)
+	checked := 0
+	for _, b := range g.Blocks {
+		if b.Return == nil {
+			continue
+		}
+		f, ok := in[b]
+		if !ok {
+			t.Fatalf("return block %d unreachable", b.Index)
+		}
+		nonNil := f.(map[string]bool)["p"]
+		_, derefs := b.Return.Results[0].(*ast.StarExpr)
+		if derefs && !nonNil {
+			t.Error("dereferencing return not proven non-nil on the true edge")
+		}
+		if !derefs && nonNil {
+			t.Error("fallthrough return wrongly proven non-nil")
+		}
+		checked++
+	}
+	if checked != 2 {
+		t.Fatalf("checked %d return blocks, want 2", checked)
+	}
+}
+
+// TestWalkVisitsOnce checks the reporting pass: every CFG node is visited
+// exactly once, with the converged entry fact in force.
+func TestWalkVisitsOnce(t *testing.T) {
+	body := parseFuncBody(t, `package p
+func f(c bool) {
+	a := 1
+	if c {
+		a = 2
+	}
+	_ = a
+}`)
+	g := BuildCFG(body, nil)
+	lat := assignLattice{}
+	in := Forward(g, lat)
+	seen := map[ast.Node]int{}
+	blocks := 0
+	Walk(g, lat, in, func(n ast.Node, before Fact) {
+		seen[n]++
+		if before == nil {
+			t.Error("visit received a nil fact on a reachable block")
+		}
+	}, func(b *Block, out Fact) {
+		blocks++
+	})
+	total := 0
+	for n, c := range seen {
+		if c != 1 {
+			t.Errorf("node %T visited %d times, want 1", n, c)
+		}
+		total++
+	}
+	if total == 0 {
+		t.Fatal("Walk visited no nodes")
+	}
+	if blocks == 0 {
+		t.Fatal("Walk called blockEnd for no blocks")
+	}
+}
+
+// TestCFGShape pins the structural invariants analyzers rely on: branch
+// blocks carry Cond with true/false successor order, return blocks carry
+// Return and do not fall off, loops close a back edge, and panic blocks
+// terminate.
+func TestCFGShape(t *testing.T) {
+	body := parseFuncBody(t, `package p
+func f(c bool, n int) int {
+	if c {
+		return 1
+	}
+	for i := 0; i < n; i++ {
+		if i > 10 {
+			panic("big")
+		}
+	}
+	return 0
+}`)
+	g := BuildCFG(body, nil)
+
+	var conds, returns, panics, backEdges int
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			conds++
+			if len(b.Succs) != 2 {
+				t.Errorf("branch block %d has %d successors, want 2", b.Index, len(b.Succs))
+			}
+		}
+		if b.Return != nil {
+			returns++
+			if g.FallsOff(b) {
+				t.Errorf("return block %d reported as falling off", b.Index)
+			}
+		}
+		if b.Panics {
+			panics++
+		}
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != g.Exit {
+				backEdges++
+			}
+		}
+	}
+	if conds != 3 {
+		t.Errorf("found %d branch blocks, want 3 (two ifs and the loop condition)", conds)
+	}
+	if returns != 2 {
+		t.Errorf("found %d return blocks, want 2", returns)
+	}
+	if panics != 1 {
+		t.Errorf("found %d panic blocks, want 1", panics)
+	}
+	if backEdges == 0 {
+		t.Error("loop produced no back edge")
+	}
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -103,3 +104,16 @@ func TestExitCheckGolden(t *testing.T) { runGolden(t, "exitcheck", ExitCheck()) 
 func TestTestkitOnlyGolden(t *testing.T) { runGolden(t, "testkitonly", TestkitOnly()) }
 
 func TestTelemetryCheckGolden(t *testing.T) { runGolden(t, "telemetrycheck", TelemetryCheck()) }
+
+func TestGoLeakGolden(t *testing.T)     { runGolden(t, "goleak", GoLeak()) }
+func TestCtxFlowGolden(t *testing.T)    { runGolden(t, "ctxflow", CtxFlow()) }
+func TestCloseCheckGolden(t *testing.T) { runGolden(t, "closecheck", CloseCheck()) }
+
+// TestHotAllocGolden shells out to `go build -gcflags=-m`; skip when the
+// toolchain is unavailable (the analyzer itself degrades the same way).
+func TestHotAllocGolden(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	runGolden(t, "hotalloc", HotAlloc())
+}

@@ -1,0 +1,232 @@
+package analysis
+
+// goleak.go: every `go` statement must start a goroutine with a provable
+// exit path. The analyzer resolves spawn targets through the module call
+// graph — function literals, named functions, closures bound to local
+// variables, and (interprocedurally) arguments handed to spawn helpers
+// that launch their parameters — and then checks each goroutine body:
+//
+//   - an unconditionally-infinite loop (`for {}` / `for true {}`) must
+//     contain a statement that leaves it: return, break (binding to that
+//     loop), a labeled break/goto, or panic;
+//   - `for range` over a time.Ticker/time.Timer channel (or time.Tick)
+//     must contain such an exit too, because those channels are never
+//     closed — the range alone can never terminate;
+//   - `select {}` with no cases blocks forever and is always a finding.
+//
+// Applicability boundary (see docs/ANALYSIS.md): the check proves the
+// *loop* can be left, not that the goroutine terminates — a condition
+// loop (`for ctx.Err() == nil`), a range over an ordinary channel (closed
+// by its producer) and a blocking receive are all trusted. Spawns the
+// graph cannot resolve (interface methods, external callbacks, untracked
+// function values) are skipped, not reported.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// GoLeak returns the goroutine-exit analyzer.
+func GoLeak() *Analyzer {
+	return &Analyzer{
+		Name: "goleak",
+		Doc: "every `go` statement must start a goroutine with a provable exit " +
+			"path: infinite loops and ticker-channel ranges inside the spawned " +
+			"function (resolved through the call graph, including closures " +
+			"passed to spawn helpers) must contain a return/break/goto",
+		Run:          runGoLeak,
+		NeedsProgram: true,
+	}
+}
+
+func runGoLeak(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	cg := pass.Prog.Graph
+	spawnHelpers := cg.SpawnedParams()
+
+	for _, node := range cg.Nodes {
+		if node.Pkg != pass.Pkg {
+			continue
+		}
+		for _, site := range node.Out {
+			if site.Go {
+				// Direct spawn: check every resolved target body.
+				for _, callee := range site.Callees {
+					checkGoroutine(pass, site.Call.Pos(), callee)
+				}
+				continue
+			}
+			// Interprocedural: this call hands function values to a helper
+			// that launches them (`go param()` somewhere downstream).
+			for _, callee := range site.Callees {
+				spawned := spawnHelpers[callee]
+				if len(spawned) == 0 {
+					continue
+				}
+				for ai := range site.Call.Args {
+					if !spawned[ai] {
+						continue
+					}
+					for _, fn := range cg.funcValue(pass.Pkg, site.Call.Args[ai], nil) {
+						checkGoroutine(pass, site.Call.Args[ai].Pos(), fn)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkGoroutine inspects one goroutine body for loops with no exit path.
+// pos is the spawn site (the `go` call or the helper argument), where the
+// finding is reported.
+func checkGoroutine(pass *Pass, pos token.Pos, fn *FuncNode) {
+	body := fn.Body()
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.FuncLit:
+			return false // its own spawn sites are checked separately
+		case *ast.ForStmt:
+			if isInfiniteCond(loop.Cond) && !loopHasExit(loop.Body, loop) {
+				reportGoLeak(pass, pos, fn, loop.Pos(),
+					"an infinite for loop with no exit path (no return, break or goto)")
+			}
+		case *ast.RangeStmt:
+			if isTickerChan(pass.Pkg, loop.X) && !loopHasExit(loop.Body, loop) {
+				reportGoLeak(pass, pos, fn, loop.Pos(),
+					"a range over a ticker channel, which is never closed, with no exit path")
+			}
+		case *ast.SelectStmt:
+			if len(loop.Body.List) == 0 {
+				reportGoLeak(pass, pos, fn, loop.Pos(), "an empty select{}, which blocks forever")
+			}
+		}
+		return true
+	})
+}
+
+func reportGoLeak(pass *Pass, pos token.Pos, fn *FuncNode, loopPos token.Pos, what string) {
+	p := pass.Pkg.Fset.Position(loopPos)
+	pass.Reportf(pos,
+		"goroutine %s never exits: %s at %s:%d; add a quit/ctx.Done() case or bound the loop",
+		fn.Name, what, filepath.Base(p.Filename), p.Line)
+}
+
+// isInfiniteCond reports whether a for condition can never become false:
+// absent, the `true` literal, or a constant-true expression.
+func isInfiniteCond(cond ast.Expr) bool {
+	if cond == nil {
+		return true
+	}
+	if id, ok := ast.Unparen(cond).(*ast.Ident); ok && id.Name == "true" {
+		return true
+	}
+	return false
+}
+
+// loopHasExit reports whether the loop body contains a statement that
+// leaves the loop: a return, a break binding to this loop, any labeled
+// break or goto (approximated as an exit — it may only reach an inner
+// label, which under-reports but never false-positives), or a panic.
+// Nested function literals are opaque.
+func loopHasExit(body *ast.BlockStmt, loop ast.Stmt) bool {
+	exit := false
+	// depth counts the break-scopes (for/range/switch/select) between the
+	// inspected statement and the loop, so unlabeled breaks bind correctly.
+	var walk func(n ast.Stmt, depth int)
+	walkAll := func(list []ast.Stmt, depth int) {
+		for _, s := range list {
+			walk(s, depth)
+		}
+	}
+	walk = func(n ast.Stmt, depth int) {
+		if exit || n == nil {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			exit = true
+		case *ast.BranchStmt:
+			switch s.Tok {
+			case token.BREAK:
+				if depth == 0 || s.Label != nil {
+					exit = true
+				}
+			case token.GOTO:
+				exit = true // may leave the loop; trusted
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					exit = true
+				}
+			}
+		case *ast.BlockStmt:
+			walkAll(s.List, depth)
+		case *ast.IfStmt:
+			walk(s.Init, depth)
+			walk(s.Body, depth)
+			walk(s.Else, depth)
+		case *ast.ForStmt:
+			walk(s.Body, depth+1)
+		case *ast.RangeStmt:
+			walk(s.Body, depth+1)
+		case *ast.SwitchStmt:
+			for _, cl := range s.Body.List {
+				walkAll(cl.(*ast.CaseClause).Body, depth+1)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range s.Body.List {
+				walkAll(cl.(*ast.CaseClause).Body, depth+1)
+			}
+		case *ast.SelectStmt:
+			for _, cl := range s.Body.List {
+				walkAll(cl.(*ast.CommClause).Body, depth+1)
+			}
+		case *ast.LabeledStmt:
+			walk(s.Stmt, depth)
+		}
+	}
+	walkAll(body.List, 0)
+	return exit
+}
+
+// isTickerChan reports whether x denotes a channel that is never closed by
+// the runtime: the C field of a time.Ticker or time.Timer, or the result
+// of time.Tick.
+func isTickerChan(pkg *Package, x ast.Expr) bool {
+	switch v := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if v.Sel.Name != "C" {
+			return false
+		}
+		tv, ok := pkg.Info.Types[v.X]
+		if !ok {
+			return false
+		}
+		t := tv.Type
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "time" &&
+			(obj.Name() == "Ticker" || obj.Name() == "Timer")
+	case *ast.CallExpr:
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+				return fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Tick"
+			}
+		}
+	}
+	return false
+}

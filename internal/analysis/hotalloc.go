@@ -1,0 +1,181 @@
+package analysis
+
+// hotalloc.go: functions annotated with a `//hot` doc-comment directive are
+// gated to zero heap allocations. The analyzer shells out to the real
+// compiler — `go build -gcflags=-m` — and maps the escape-analysis
+// diagnostics ("X escapes to heap", "moved to heap: X") back onto the line
+// ranges of the annotated functions. Anything the compiler would allocate
+// inside a //hot function is a finding at the allocating line.
+//
+// This is the one analyzer that runs a subprocess: escape analysis is a
+// whole-compiler activity that cannot be reproduced faithfully from
+// go/types alone, and a cheaper approximation would drift from what the
+// binary actually does. The build cache makes repeat runs cheap — the
+// compiler replays recorded diagnostics without recompiling.
+//
+// Applicability boundary (docs/ANALYSIS.md): the gate is per-line, not
+// per-call-path — an allocation on a cold error branch inside a //hot
+// function still counts (hoist it into a `//go:noinline` cold helper).
+// If the `go` tool is unavailable or the package does not compile, the
+// analyzer degrades to silence rather than guessing. Allocations performed
+// by callees are the callees' business: annotate them //hot too if they
+// are on the hot path.
+
+import (
+	"bufio"
+	"bytes"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// HotAlloc returns the zero-allocation-gate analyzer.
+func HotAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc: "functions with a //hot doc-comment directive must be free of " +
+			"heap allocations, verified against the compiler's own escape " +
+			"analysis (go build -gcflags=-m); hoist allocations out of the " +
+			"hot path or move them to a cold //go:noinline helper",
+		Run: runHotAlloc,
+	}
+}
+
+// hotRange is the file span of one //hot function.
+type hotRange struct {
+	name      string
+	file      string // absolute path
+	from, to  int    // inclusive line range
+	tokenFile *token.File
+}
+
+func runHotAlloc(pass *Pass) {
+	hots := hotFunctions(pass)
+	if len(hots) == 0 {
+		return
+	}
+	for _, diag := range escapeDiagnostics(pass.Pkg.Dir) {
+		for _, h := range hots {
+			if diag.file != h.file || diag.line < h.from || diag.line > h.to {
+				continue
+			}
+			pass.Reportf(posAt(h.tokenFile, diag.line, diag.col),
+				"//hot function %s allocates: %s; hot paths must be allocation-free (hoist the allocation or move it to a cold //go:noinline helper)",
+				h.name, diag.detail)
+			break
+		}
+	}
+}
+
+// hotFunctions collects the //hot-annotated declarations of the package.
+// The directive is a doc-comment line that is exactly `//hot`, optionally
+// followed by ':' and a rationale.
+func hotFunctions(pass *Pass) []hotRange {
+	var out []hotRange
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			if !hasHotDirective(fd.Doc) {
+				continue
+			}
+			start := pass.Pkg.Fset.Position(fd.Pos())
+			end := pass.Pkg.Fset.Position(fd.End())
+			out = append(out, hotRange{
+				name:      fd.Name.Name,
+				file:      start.Filename,
+				from:      start.Line,
+				to:        end.Line,
+				tokenFile: pass.Pkg.Fset.File(file.Pos()),
+			})
+		}
+	}
+	return out
+}
+
+func hasHotDirective(doc *ast.CommentGroup) bool {
+	for _, c := range doc.List {
+		text := c.Text
+		if text == "//hot" || strings.HasPrefix(text, "//hot:") || strings.HasPrefix(text, "//hot ") {
+			return true
+		}
+	}
+	return false
+}
+
+// posAt synthesizes a token.Pos for a (line, col) pair inside tf, so the
+// finding lands on the allocating line (and //lint:ignore directives there
+// suppress it).
+func posAt(tf *token.File, line, col int) token.Pos {
+	if tf == nil || line < 1 || line > tf.LineCount() {
+		return token.NoPos
+	}
+	p := tf.LineStart(line)
+	return p + token.Pos(col-1)
+}
+
+// escapeDiag is one allocation the compiler reported.
+type escapeDiag struct {
+	file      string // absolute path
+	line, col int
+	detail    string
+}
+
+// escapeDiagnostics builds the package in dir with -gcflags=-m and parses
+// the escape-analysis output. The compiler prints diagnostics to stderr
+// with paths relative to the package directory; a failed build yields
+// whatever diagnostics were emitted before the failure (typically none).
+func escapeDiagnostics(dir string) []escapeDiag {
+	cmd := exec.Command("go", "build", "-gcflags=-m", ".")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	_ = cmd.Run() // degrade to whatever output exists
+	var out []escapeDiag
+	sc := bufio.NewScanner(&stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		d, ok := parseEscapeLine(dir, line)
+		if ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// parseEscapeLine extracts an allocation diagnostic from one -m line:
+//
+//	./thermal.go:42:17: new(Network) escapes to heap
+//	./model.go:12:2: moved to heap: buf
+//
+// Lines about inlining, leaking params, or anything else are ignored.
+func parseEscapeLine(dir, line string) (escapeDiag, bool) {
+	if !strings.HasSuffix(line, "escapes to heap") && !strings.Contains(line, "moved to heap:") {
+		return escapeDiag{}, false
+	}
+	// <path>:<line>:<col>: <detail>
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) != 4 {
+		return escapeDiag{}, false
+	}
+	ln, err1 := strconv.Atoi(parts[1])
+	col, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return escapeDiag{}, false
+	}
+	file := parts[0]
+	if !filepath.IsAbs(file) {
+		file = filepath.Join(dir, file)
+	}
+	return escapeDiag{
+		file:   filepath.Clean(file),
+		line:   ln,
+		col:    col,
+		detail: strings.TrimSpace(parts[3]),
+	}, true
+}

@@ -266,15 +266,14 @@ func (lc *lockChecker) lockOp(call *ast.CallExpr) (key string, kind lockOpKind, 
 	return key, kind, true
 }
 
-// lockState is the abstract state of the pairing walker: which lock keys
+// lockState is the abstract state of the pairing analysis: which lock keys
 // are held, which have a pending deferred release, and which are managed
 // by the caller (first seen being unlocked, a documented handoff pattern —
 // those keys are exempt in this function).
 type lockState struct {
-	held       map[string]token.Pos
-	deferred   map[string]bool
-	external   map[string]bool
-	terminated bool
+	held     map[string]token.Pos
+	deferred map[string]bool
+	external map[string]bool
 }
 
 func newLockState() *lockState {
@@ -296,56 +295,102 @@ func (s *lockState) clone() *lockState {
 	for k := range s.external {
 		c.external[k] = true
 	}
-	c.terminated = s.terminated
 	return c
 }
 
-// merge combines the states of alternative branches: a lock counts as held
-// only if held on every live branch (leaks are reported at returns inside
-// the branches themselves), while defers and caller-managed marks persist
-// if any branch set them.
-func merge(states ...*lockState) *lockState {
-	var live []*lockState
-	for _, s := range states {
-		if s != nil && !s.terminated {
-			live = append(live, s)
-		}
+// lockLattice plugs the pairing analysis into the shared dataflow
+// framework (cfg.go + dataflow.go): a lock counts as held only if held on
+// every path into a point (Join intersects), while defers and
+// caller-managed marks persist if any path set them (Join unions).
+type lockLattice struct {
+	lc *lockChecker
+}
+
+func (l *lockLattice) Entry() Fact       { return newLockState() }
+func (l *lockLattice) Clone(f Fact) Fact { return f.(*lockState).clone() }
+
+func (l *lockLattice) Transfer(n ast.Node, f Fact) Fact {
+	st := f.(*lockState)
+	switch s := n.(type) {
+	case *ast.DeferStmt:
+		l.lc.applyDefer(s, st)
+	case *ast.GoStmt:
+		// The spawned goroutine has its own discipline; literals are
+		// analysed separately.
+	default:
+		forEachCall(n, func(call *ast.CallExpr) { l.lc.applyCall(call, st) })
 	}
-	if len(live) == 0 {
-		s := newLockState()
-		s.terminated = true
-		return s
-	}
-	out := live[0].clone()
-	for k, pos := range live[0].held {
-		heldEverywhere := true
-		for _, s := range live[1:] {
-			if _, ok := s.held[k]; !ok {
-				heldEverywhere = false
-				break
-			}
-		}
-		if !heldEverywhere {
-			delete(out.held, k)
-		} else {
+	return st
+}
+
+func (l *lockLattice) Join(a, b Fact) Fact {
+	x, y := a.(*lockState), b.(*lockState)
+	out := newLockState()
+	for k, pos := range x.held {
+		if _, ok := y.held[k]; ok {
 			out.held[k] = pos
 		}
 	}
-	for _, s := range live[1:] {
-		for k := range s.deferred {
-			out.deferred[k] = true
-		}
-		for k := range s.external {
-			out.external[k] = true
-		}
+	for k := range x.deferred {
+		out.deferred[k] = true
+	}
+	for k := range y.deferred {
+		out.deferred[k] = true
+	}
+	for k := range x.external {
+		out.external[k] = true
+	}
+	for k := range y.external {
+		out.external[k] = true
 	}
 	return out
 }
 
-// checkBody runs the pairing walker over one function body. Nested
-// function literals are skipped here; runLockCheck analyses them
-// separately with their own state.
+func (l *lockLattice) Equal(a, b Fact) bool {
+	x, y := a.(*lockState), b.(*lockState)
+	if len(x.held) != len(y.held) || len(x.deferred) != len(y.deferred) || len(x.external) != len(y.external) {
+		return false
+	}
+	for k, pos := range x.held {
+		if y.held[k] != pos {
+			return false
+		}
+	}
+	for k := range x.deferred {
+		if !y.deferred[k] {
+			return false
+		}
+	}
+	for k := range x.external {
+		if !y.external[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachCall visits every call expression inside n in preorder, without
+// descending into nested function literals (they are analysed separately).
+func forEachCall(n ast.Node, fn func(*ast.CallExpr)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch c := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			fn(c)
+		}
+		return true
+	})
+}
+
+// checkBody runs the pairing analysis over one function body on the shared
+// CFG/dataflow core. Nested function literals are skipped here;
+// runLockCheck analyses them separately with their own state.
 func (lc *lockChecker) checkBody(body *ast.BlockStmt) {
+	g := BuildCFG(body, lc.pass.Pkg.Info)
+	lat := &lockLattice{lc: lc}
+	in := Forward(g, lat)
+
 	reported := map[token.Pos]bool{}
 	leak := func(s *lockState, where string) {
 		for k, pos := range s.held {
@@ -358,10 +403,42 @@ func (lc *lockChecker) checkBody(body *ast.BlockStmt) {
 				lockName(k), where)
 		}
 	}
-	final := lc.walkStmts(body.List, newLockState(), leak)
-	if !final.terminated {
-		leak(final, "by the end of the function")
-	}
+	Walk(g, lat, in,
+		func(n ast.Node, before Fact) {
+			st := before.(*lockState)
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				leak(st, "on a return path")
+				return
+			}
+			if _, ok := n.(*ast.DeferStmt); ok {
+				return
+			}
+			if _, ok := n.(*ast.GoStmt); ok {
+				return
+			}
+			// Deadlock reports need the state *before* the call; the
+			// fixpoint has converged, so this fires exactly once per site.
+			cur := st.clone()
+			forEachCall(n, func(call *ast.CallExpr) {
+				key, kind, ok := lc.lockOp(call)
+				if ok && kind == opLock && !cur.external[key] {
+					if _, already := cur.held[key]; already {
+						lc.pass.Reportf(call.Pos(), "%s is already held here; this Lock deadlocks", lockName(key))
+					}
+					if _, read := cur.held[key+"/R"]; read && !cur.external[key+"/R"] {
+						lc.pass.Reportf(call.Pos(),
+							"%s is still held here; upgrading an RLock to a Lock deadlocks with concurrent readers — release the RLock first",
+							lockName(key+"/R"))
+					}
+				}
+				lc.applyCall(call, cur)
+			})
+		},
+		func(b *Block, out Fact) {
+			if g.FallsOff(b) {
+				leak(out.(*lockState), "by the end of the function")
+			}
+		})
 }
 
 // lockName renders a state key back into the source-level call.
@@ -379,128 +456,28 @@ func cutSuffix(s, suffix string) (string, bool) {
 	return s, false
 }
 
-// walkStmts interprets a statement list, tracking lock state. leak is
-// called at every exit point with the state at that point.
-func (lc *lockChecker) walkStmts(stmts []ast.Stmt, st *lockState, leak func(*lockState, string)) *lockState {
-	for _, stmt := range stmts {
-		st = lc.walkStmt(stmt, st, leak)
-		if st.terminated {
-			break
-		}
+// applyDefer records deferred releases: a direct defer mu.Unlock(), or a
+// deferred function literal that releases somewhere in its body.
+func (lc *lockChecker) applyDefer(s *ast.DeferStmt, st *lockState) {
+	if key, kind, ok := lc.lockOp(s.Call); ok && (kind == opUnlock || kind == opRUnlock) {
+		st.deferred[key] = true
+		return
 	}
-	return st
-}
-
-func (lc *lockChecker) walkStmt(stmt ast.Stmt, st *lockState, leak func(*lockState, string)) *lockState {
-	switch s := stmt.(type) {
-	case *ast.BlockStmt:
-		return lc.walkStmts(s.List, st, leak)
-
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			lc.applyCall(call, st)
-		}
-
-	case *ast.DeferStmt:
-		if key, kind, ok := lc.lockOp(s.Call); ok && (kind == opUnlock || kind == opRUnlock) {
-			st.deferred[key] = true
-			break
-		}
-		// defer func() { ...; mu.Unlock() }() also releases.
-		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			ast.Inspect(fl.Body, func(n ast.Node) bool {
-				if call, ok := n.(*ast.CallExpr); ok {
-					if key, kind, ok := lc.lockOp(call); ok && (kind == opUnlock || kind == opRUnlock) {
-						st.deferred[key] = true
-					}
+	if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, kind, ok := lc.lockOp(call); ok && (kind == opUnlock || kind == opRUnlock) {
+					st.deferred[key] = true
 				}
-				return true
-			})
-		}
-
-	case *ast.ReturnStmt:
-		leak(st, "on a return path")
-		st = st.clone()
-		st.terminated = true
-		return st
-
-	case *ast.IfStmt:
-		if s.Init != nil {
-			st = lc.walkStmt(s.Init, st, leak)
-		}
-		then := lc.walkStmts(s.Body.List, st.clone(), leak)
-		els := st.clone()
-		if s.Else != nil {
-			els = lc.walkStmt(s.Else, st.clone(), leak)
-		}
-		return merge(then, els)
-
-	case *ast.ForStmt:
-		if s.Init != nil {
-			st = lc.walkStmt(s.Init, st, leak)
-		}
-		// The body must be lock-neutral across iterations; reports inside
-		// still fire. After the loop, keep the entry state (conservative:
-		// a `for {}` with break is treated as falling through).
-		lc.walkStmts(s.Body.List, st.clone(), leak)
-		return st
-
-	case *ast.RangeStmt:
-		lc.walkStmts(s.Body.List, st.clone(), leak)
-		return st
-
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		var init ast.Stmt
-		var clauses []ast.Stmt
-		hasDefault := false
-		switch sw := stmt.(type) {
-		case *ast.SwitchStmt:
-			init, clauses = sw.Init, sw.Body.List
-		case *ast.TypeSwitchStmt:
-			init, clauses = sw.Init, sw.Body.List
-		case *ast.SelectStmt:
-			clauses, hasDefault = sw.Body.List, true // select blocks until some case runs
-		}
-		if init != nil {
-			st = lc.walkStmt(init, st, leak)
-		}
-		outs := []*lockState{}
-		for _, cl := range clauses {
-			var body []ast.Stmt
-			switch c := cl.(type) {
-			case *ast.CaseClause:
-				if c.List == nil {
-					hasDefault = true
-				}
-				body = c.Body
-			case *ast.CommClause:
-				body = c.Body
 			}
-			outs = append(outs, lc.walkStmts(body, st.clone(), leak))
-		}
-		if !hasDefault || len(clauses) == 0 {
-			outs = append(outs, st.clone()) // no case may match
-		}
-		return merge(outs...)
-
-	case *ast.BranchStmt:
-		// break/continue/goto leave the linear walk; treat as terminated
-		// so no spurious end-of-function leak is reported.
-		st = st.clone()
-		st.terminated = true
-		return st
-
-	case *ast.LabeledStmt:
-		return lc.walkStmt(s.Stmt, st, leak)
-
-	case *ast.GoStmt:
-		// The spawned goroutine has its own discipline; literals are
-		// analysed separately.
+			return true
+		})
 	}
-	return st
 }
 
-// applyCall updates the state for a (potential) lock operation.
+// applyCall updates the state for a (potential) lock operation. Reporting
+// happens in checkBody's Walk pass, never here: this runs repeatedly
+// during the fixpoint iteration.
 func (lc *lockChecker) applyCall(call *ast.CallExpr, st *lockState) {
 	key, kind, ok := lc.lockOp(call)
 	if !ok {
@@ -508,9 +485,6 @@ func (lc *lockChecker) applyCall(call *ast.CallExpr, st *lockState) {
 	}
 	switch kind {
 	case opLock, opRLock:
-		if _, already := st.held[key]; already && kind == opLock && !st.external[key] {
-			lc.pass.Reportf(call.Pos(), "%s is already held here; this Lock deadlocks", lockName(key))
-		}
 		st.held[key] = call.Pos()
 	case opUnlock, opRUnlock:
 		if _, ok := st.held[key]; !ok && !st.deferred[key] {

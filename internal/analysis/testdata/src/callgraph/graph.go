@@ -1,0 +1,67 @@
+// Package callgraph is the call-graph builder fixture: one specimen per
+// resolution mechanism — static calls, interface dispatch (CHA), function
+// literals, closures bound to variables, method values, go/defer sites
+// and a spawn helper. callgraph_test.go pins its Dump against a golden
+// file, so additions here must regenerate testdata/callgraph.golden.
+package callgraph
+
+// Shape is implemented by Square and Circle; CHA resolves calls through
+// it to both.
+type Shape interface{ Area() float64 }
+
+// Square is the first Shape implementation.
+type Square struct{ S float64 }
+
+// Area returns the square's area.
+func (s Square) Area() float64 { return s.S * s.S }
+
+// Circle is the second Shape implementation.
+type Circle struct{ R float64 }
+
+// Area returns the circle's area (π rounded down for the fixture).
+func (c Circle) Area() float64 { return 3 * c.R * c.R }
+
+// TotalArea dispatches through the interface.
+func TotalArea(shapes []Shape) float64 {
+	t := 0.0
+	for _, s := range shapes {
+		t += s.Area()
+	}
+	return t
+}
+
+// UseClosure binds a literal to a variable and calls through it.
+func UseClosure() int {
+	double := func(x int) int { return 2 * x }
+	return double(21)
+}
+
+// UseMethodValue calls through a bound method value.
+func UseMethodValue(s Square) float64 {
+	f := s.Area
+	return f()
+}
+
+// tick is a goroutine body.
+func tick() {}
+
+// cleanup is a defer target.
+func cleanup() {}
+
+// Spawn has one go site and one defer site.
+func Spawn() {
+	defer cleanup()
+	go tick()
+}
+
+// launch spawns its parameter; SpawnedParams must mark index 0.
+func launch(f func()) { go f() }
+
+// UseLauncher hands tick to the spawn helper.
+func UseLauncher() { launch(tick) }
+
+// chain calls statically through two hops.
+func chain() float64 { return middle() }
+
+// middle is the intermediate hop.
+func middle() float64 { return TotalArea(nil) }

@@ -1,0 +1,72 @@
+// bad.go holds the closecheck positives: response bodies, files,
+// listeners and tickers acquired but not released on every path. The
+// finding lands on the acquisition site.
+package closecheck
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// LeakBody never closes the response body.
+func LeakBody(url string) ([]byte, error) {
+	resp, err := http.Get(url) // want "not released on every path"
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// LeakFileOnBranch closes the file on the happy path only: the early
+// return leaks it.
+func LeakFileOnBranch(path string, skip bool) error {
+	f, err := os.Open(path) // want "not released on every path"
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	f.Close()
+	return nil
+}
+
+// LeakTicker starts a ticker that is never stopped; its goroutine and
+// channel live for the process lifetime.
+func LeakTicker(n int) int {
+	t := time.NewTicker(time.Millisecond) // want "not released on every path"
+	sum := 0
+	for i := 0; i < n; i++ {
+		<-t.C
+		sum++
+	}
+	return sum
+}
+
+// LeakListener leaks the listener when the handshake probe fails.
+func LeakListener(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr) // want "not released on every path"
+	if err != nil {
+		return nil, err
+	}
+	if addr == "" {
+		return nil, nil
+	}
+	return ln, nil
+}
+
+// CloseOnlyOnError releases on the error branch but leaks on success.
+func CloseOnlyOnError(path string, bad bool) error {
+	f, err := os.Create(path) // want "not released on every path"
+	if err != nil {
+		return err
+	}
+	if bad {
+		f.Close()
+		return nil
+	}
+	return nil
+}

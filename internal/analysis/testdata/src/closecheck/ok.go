@@ -1,0 +1,105 @@
+// ok.go holds the closecheck negatives: deferred releases, per-branch
+// releases, ownership transfer by return or by a callee that closes,
+// and release from a deferred closure.
+package closecheck
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// DeferClose is the canonical shape: check the error, defer the close.
+func DeferClose(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// BranchClose releases explicitly on every path.
+func BranchClose(path string, probe bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if probe {
+		f.Close()
+		return nil
+	}
+	f.Close()
+	return nil
+}
+
+// TickerStop pairs the ticker with a deferred Stop.
+func TickerStop(n int) int {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	sum := 0
+	for i := 0; i < n; i++ {
+		<-t.C
+		sum++
+	}
+	return sum
+}
+
+// TransferByReturn hands the listener to the caller: the caller owns it.
+func TransferByReturn(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return ln, nil
+}
+
+// consume closes the file it is given; callers passing a file here have
+// transferred ownership.
+func consume(f *os.File) error {
+	defer f.Close()
+	var buf [64]byte
+	_, err := f.Read(buf[:])
+	return err
+}
+
+// TransferToCallee passes the file to a closer resolved through the
+// call graph.
+func TransferToCallee(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return consume(f)
+}
+
+// DeferredClosure releases inside a deferred function literal.
+func DeferredClosure(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.Close()
+	}()
+	var buf [64]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+// NilGuard handles the documented Do contract where a nil body check
+// precedes use.
+func NilGuard(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}

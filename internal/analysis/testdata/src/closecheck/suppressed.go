@@ -1,0 +1,27 @@
+// suppressed.go proves the //lint:ignore round-trip for closecheck: the
+// listener below intentionally lives for the process lifetime.
+package closecheck
+
+import "net"
+
+// ProcessListener binds the main serving socket; the OS reclaims it at
+// exit and closing it early would drop live connections.
+func ProcessListener(addr string) error {
+	//lint:ignore closecheck process-lifetime listener, closed by OS at exit
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go serve(ln)
+	return nil
+}
+
+func serve(ln net.Listener) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c.Close()
+	}
+}

@@ -1,0 +1,54 @@
+// bad.go holds the ctxflow positives: misplaced ctx parameters, fresh
+// context roots in request-scoped code, context-less HTTP requests,
+// uncancellable channel waits and unconsulted fsyncs.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"os"
+)
+
+// MisplacedCtx buries the context behind another parameter.
+func MisplacedCtx(id int, ctx context.Context) { // want "must be the first parameter"
+	_ = ctx
+}
+
+// FreshRoot severs cancellation inside a request-scoped function.
+func FreshRoot(ctx context.Context) {
+	c := context.Background() // want "severs cancellation"
+	_ = c
+	_ = ctx
+}
+
+// FreshTODO does the same with TODO, triggered by the *http.Request param.
+func FreshTODO(w http.ResponseWriter, r *http.Request) {
+	c := context.TODO() // want "severs cancellation"
+	_ = c
+	_ = w
+}
+
+// ContextlessRequest builds a request cancellation can never reach.
+func ContextlessRequest(url string) error {
+	req, err := http.NewRequest("GET", url, nil) // want "context-less request"
+	_ = req
+	return err
+}
+
+// BlockingSend parks on a channel with no Done escape hatch.
+func BlockingSend(ctx context.Context, out chan int) {
+	out <- 1 // want "blocking channel send"
+	_ = ctx
+}
+
+// BlockingRecv parks on a receive the context cannot interrupt.
+func BlockingRecv(ctx context.Context, in chan int) int {
+	v := <-in // want "blocking channel receive"
+	_ = ctx
+	return v
+}
+
+// UnconsultedSync pays the fsync cost without checking cancellation.
+func UnconsultedSync(ctx context.Context, f *os.File) error {
+	return f.Sync() // want "fsync on the request path"
+}

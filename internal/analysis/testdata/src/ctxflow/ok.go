@@ -1,0 +1,74 @@
+// ok.go holds the ctxflow negatives: ctx first, derived contexts,
+// context-carrying requests, select-guarded channel operations and
+// fsync behind a cancellation check.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"time"
+)
+
+// CtxFirst keeps the context in front; no finding.
+func CtxFirst(ctx context.Context, id int) {
+	_ = ctx
+	_ = id
+}
+
+// DerivedContext narrows the incoming context instead of replacing it.
+func DerivedContext(ctx context.Context) {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	_ = c
+}
+
+// RootInMain is not request-scoped (no ctx or request parameter), so a
+// fresh root is exactly right here.
+func RootInMain() context.Context {
+	return context.Background()
+}
+
+// RequestWithContext threads cancellation through to the transport.
+func RequestWithContext(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	_ = req
+	return err
+}
+
+// GuardedSend pairs the send with a Done case.
+func GuardedSend(ctx context.Context, out chan int) {
+	select {
+	case out <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// GuardedRecv pairs the receive with a Done case.
+func GuardedRecv(ctx context.Context, in chan int) int {
+	select {
+	case v := <-in:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// DoneRecv receives from ctx.Done() itself — that IS the cancellation
+// consult, not an uncancellable wait.
+func DoneRecv(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// ConsultedSync checks cancellation before paying the sync cost.
+func ConsultedSync(ctx context.Context, f *os.File) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// NoCtxSend has no context parameter: plain channel use is fine.
+func NoCtxSend(out chan int) {
+	out <- 1
+}

@@ -1,0 +1,13 @@
+// suppressed.go proves the //lint:ignore round-trip for ctxflow: the
+// detach below is intentional and documented, so no finding survives.
+package ctxflow
+
+import "context"
+
+// DetachedAudit forks audit logging off the request lifetime on purpose:
+// the write must complete even when the caller gives up.
+func DetachedAudit(ctx context.Context) context.Context {
+	_ = ctx
+	//lint:ignore ctxflow audit writes outlive the request by design
+	return context.Background()
+}

@@ -1,0 +1,61 @@
+// bad.go holds the goleak positives: goroutines whose bodies provably
+// never exit — infinite loops without a way out, ranges over ticker
+// channels (never closed by the runtime) and empty selects.
+package goleak
+
+import "time"
+
+func work() {}
+
+// SpinForever launches a literal with a bare infinite loop.
+func SpinForever() {
+	go func() { // want "never exits"
+		for {
+			work()
+		}
+	}()
+}
+
+// TickForever ranges over a ticker channel with no exit statement.
+func TickForever() {
+	t := time.NewTicker(time.Second)
+	go func() { // want "ticker channel"
+		for range t.C {
+			work()
+		}
+	}()
+}
+
+// BlockForever parks a goroutine on an empty select.
+func BlockForever() {
+	go func() { // want "blocks forever"
+		select {}
+	}()
+}
+
+// spin is a named spin loop; the finding lands on the spawn site.
+func spin() {
+	for true {
+		work()
+	}
+}
+
+// SpawnNamed spawns the named infinite loop.
+func SpawnNamed() {
+	go spin() // want "never exits"
+}
+
+// launch is a spawn helper: goleak follows f through the call graph.
+func launch(f func()) {
+	go f()
+}
+
+// SpawnViaHelper hands a leaking worker to the helper; the finding lands
+// on the argument.
+func SpawnViaHelper() {
+	launch(func() { // want "never exits"
+		for {
+			work()
+		}
+	})
+}

@@ -1,0 +1,79 @@
+// ok.go holds the goleak negatives: goroutines with a provable exit
+// path, plus the shapes the analyzer deliberately trusts (condition
+// loops, ranges over ordinary channels).
+package goleak
+
+import "time"
+
+// QuitLoop exits through a select case; no finding.
+func QuitLoop(quit chan struct{}, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			case v := <-in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// TickerWithStop breaks out of the ticker range on a counter.
+func TickerWithStop() {
+	t := time.NewTicker(time.Second)
+	go func() {
+		n := 0
+		for range t.C {
+			n++
+			if n > 10 {
+				break
+			}
+		}
+		t.Stop()
+	}()
+}
+
+// RangeChannel ranges over an ordinary channel: the producer closes it,
+// so the loop terminates — trusted, no finding.
+func RangeChannel(in chan int) {
+	go func() {
+		for v := range in {
+			_ = v
+		}
+	}()
+}
+
+// BoundedLoop is a plain counted loop.
+func BoundedLoop() {
+	go func() {
+		for i := 0; i < 100; i++ {
+			work()
+		}
+	}()
+}
+
+// PanicExit leaves the loop by panicking; counted as an exit.
+func PanicExit(in chan int) {
+	go func() {
+		for {
+			if v := <-in; v < 0 {
+				panic("negative")
+			}
+		}
+	}()
+}
+
+// LabeledBreak leaves a nested loop through a label.
+func LabeledBreak(in chan int) {
+	go func() {
+	outer:
+		for {
+			for v := range in {
+				if v == 0 {
+					break outer
+				}
+			}
+		}
+	}()
+}

@@ -1,0 +1,13 @@
+// suppressed.go proves the //lint:ignore round-trip: the spawn below
+// leaks by goleak's rules but the directive drops the finding.
+package goleak
+
+// SpinByDesign runs for the process lifetime on purpose.
+func SpinByDesign() {
+	//lint:ignore goleak process-lifetime worker, reaped at exit
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,81 @@
+// hot.go holds the hotalloc positives and negatives: //hot functions are
+// gated to zero heap allocations via the compiler's own escape analysis
+// (-gcflags=-m), so the wants below track real `go build` output.
+package hotalloc
+
+// sink keeps escapes observable to the compiler.
+var sink []float64
+
+// ptrSink forces address-taken locals to the heap.
+var ptrSink *int
+
+// BadMake allocates a non-constant-size slice on the hot path.
+//
+//hot:fixture
+func BadMake(n int) {
+	buf := make([]float64, n) // want "allocates"
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	sink = buf
+}
+
+// BadMoved leaks the address of a local, moving it to the heap.
+//
+//hot:fixture
+func BadMoved() {
+	x := 42 // want "allocates"
+	ptrSink = &x
+}
+
+// node is big enough that new(node) cannot stay on the stack once it
+// escapes through the return.
+type node struct{ next *node }
+
+// BadNew returns a fresh heap object from the hot path.
+//
+//hot:fixture
+func BadNew() *node {
+	return new(node) // want "allocates"
+}
+
+// GoodArith is pure arithmetic; nothing escapes.
+//
+//hot:fixture
+func GoodArith(a, b float64) float64 {
+	return a*b + a/2
+}
+
+// GoodInPlace writes into a caller-owned buffer.
+//
+//hot:fixture
+func GoodInPlace(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// GoodStackArray keeps a constant-size scratch array on the stack.
+//
+//hot:fixture
+func GoodStackArray(v float64) float64 {
+	var scratch [8]float64
+	for i := range scratch {
+		scratch[i] = v * float64(i)
+	}
+	s := 0.0
+	for _, x := range scratch {
+		s += x
+	}
+	return s
+}
+
+// ColdAlloc allocates freely: it carries no //hot directive, so the gate
+// must stay silent.
+func ColdAlloc(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}

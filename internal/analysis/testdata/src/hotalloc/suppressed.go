@@ -1,0 +1,19 @@
+// suppressed.go proves the //lint:ignore round-trip for hotalloc: the
+// synthesized report position lands on the allocating line, so a
+// directive there (or on the line above) drops the finding.
+package hotalloc
+
+// warmSink keeps the allocation observable.
+var warmSink []byte
+
+// WarmupOnce allocates deliberately: it runs once at startup before the
+// hot loop begins, and the annotation documents the loop body only.
+//
+//hot:fixture
+func WarmupOnce(n int) {
+	//lint:ignore hotalloc one-time warmup allocation before the loop
+	warmSink = make([]byte, n)
+	for i := range warmSink {
+		warmSink[i] = byte(i)
+	}
+}

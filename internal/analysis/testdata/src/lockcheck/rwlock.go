@@ -1,0 +1,78 @@
+// rwlock.go exercises the RWMutex-specific rules on the CFG dataflow core:
+// RLock/RUnlock pairing across branches and the RLock→Lock upgrade
+// deadlock (a writer blocks behind readers, and this reader never leaves).
+package lockcheck
+
+import "sync"
+
+// Table guards a map with a read-write mutex.
+type Table struct {
+	mu   sync.RWMutex
+	data map[string]int
+}
+
+// UpgradeDeadlock re-locks for write while its own read lock is held.
+func (t *Table) UpgradeDeadlock(k string) {
+	t.mu.RLock()
+	if _, ok := t.data[k]; !ok {
+		t.mu.Lock() // want "upgrading an RLock"
+		t.data[k] = 1
+		t.mu.Unlock()
+	}
+	t.mu.RUnlock()
+}
+
+// UpgradeOK releases the read lock before taking the write lock.
+func (t *Table) UpgradeOK(k string) {
+	t.mu.RLock()
+	_, ok := t.data[k]
+	t.mu.RUnlock()
+	if !ok {
+		t.mu.Lock()
+		t.data[k] = 1
+		t.mu.Unlock()
+	}
+}
+
+// ReadLeakOnBranch releases the read lock on the hit path only.
+func (t *Table) ReadLeakOnBranch(k string) int {
+	t.mu.RLock() // want "not released"
+	if v, ok := t.data[k]; ok {
+		t.mu.RUnlock()
+		return v
+	}
+	return 0
+}
+
+// BranchReadOK releases on every branch.
+func (t *Table) BranchReadOK(k string) int {
+	t.mu.RLock()
+	if v, ok := t.data[k]; ok {
+		t.mu.RUnlock()
+		return v
+	}
+	t.mu.RUnlock()
+	return 0
+}
+
+// WriteThenReadOK holds the write and read locks strictly in sequence.
+func (t *Table) WriteThenReadOK(k string) int {
+	t.mu.Lock()
+	t.data[k]++
+	t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.data[k]
+}
+
+// LoopReadOK takes and releases the read lock once per iteration; the
+// back edge must not look like a leak.
+func (t *Table) LoopReadOK(keys []string) int {
+	sum := 0
+	for _, k := range keys {
+		t.mu.RLock()
+		sum += t.data[k]
+		t.mu.RUnlock()
+	}
+	return sum
+}

@@ -278,7 +278,7 @@ func (st *loadState) runOpen(ctx context.Context) {
 	rng := mrand.New(mrand.NewSource(st.cfg.Seed + 1))
 	slots := make(chan struct{}, st.cfg.Concurrency)
 	for i := 0; i < st.cfg.Concurrency; i++ {
-		slots <- struct{}{}
+		slots <- struct{}{} //lint:ignore ctxflow filling a fresh buffered channel to its capacity cannot block
 	}
 	var wg sync.WaitGroup
 	start := time.Now()

@@ -202,7 +202,12 @@ type Router struct {
 	jitter *mrand.Rand
 
 	stop chan struct{}
-	wg   sync.WaitGroup
+	// baseCtx is the router's lifetime: it parents every health poll and
+	// every forward that has no client request to derive from, so Close
+	// cancels in-flight upstream I/O instead of waiting out timeouts.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
 }
 
 // NewRouter builds the router and starts its health-poll loop; call
@@ -252,6 +257,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		jitter:   mrand.New(mrand.NewSource(int64(binary.LittleEndian.Uint32(pre[:])) + 1)),
 		stop:     make(chan struct{}),
 	}
+	rt.baseCtx, rt.cancel = context.WithCancel(context.Background())
 	upVec := tel.GaugeVec("cluster_router_replica_up",
 		"1 when the replica answered its last health poll", "replica")
 	loadVec := tel.GaugeVec("cluster_replica_load",
@@ -274,13 +280,15 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 // Telemetry exposes the router's metric registry.
 func (rt *Router) Telemetry() *telemetry.Registry { return rt.tel }
 
-// Close stops the health poller and releases idle connections.
+// Close stops the health poller, cancels in-flight polls and standalone
+// forwards, and releases idle connections.
 func (rt *Router) Close() {
 	select {
 	case <-rt.stop:
 	default:
 		close(rt.stop)
 	}
+	rt.cancel()
 	rt.wg.Wait()
 	rt.client.CloseIdleConnections()
 }
@@ -315,9 +323,11 @@ func (rt *Router) pollAll() {
 	wg.Wait()
 }
 
-// poll fetches one replica's /v1/healthz.
+// poll fetches one replica's /v1/healthz. The request derives from the
+// router's lifetime context, so Close interrupts a poll wedged on an
+// unresponsive replica instead of waiting out the client timeout.
 func (rt *Router) poll(st *replicaState) {
-	req, err := http.NewRequest(http.MethodGet, st.url+"/v1/healthz", nil)
+	req, err := http.NewRequestWithContext(rt.baseCtx, http.MethodGet, st.url+"/v1/healthz", nil)
 	if err != nil {
 		st.setDown()
 		return
@@ -329,7 +339,13 @@ func (rt *Router) poll(st *replicaState) {
 		st.setDown()
 		return
 	}
-	defer resp.Body.Close()
+	defer func() {
+		// Drain what the decoder left behind before closing: a body with
+		// unread bytes poisons the keep-alive connection, and the poller
+		// re-dials every replica every interval.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
 	var h serve.HealthResponse
 	if resp.StatusCode != http.StatusOK ||
 		json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h) != nil {
@@ -659,20 +675,27 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, bo
 		fmt.Errorf("cluster: no replica reachable for key %q", key))
 }
 
-// backoff sleeps attempt*base plus up to one base of jitter.
+// backoff sleeps attempt*base plus up to one base of jitter, returning
+// early when the router shuts down mid-failover.
 func (rt *Router) backoff(attempt int) {
 	base := rt.cfg.RetryBackoff
 	rt.jmu.Lock()
 	j := time.Duration(rt.jitter.Int63n(int64(base) + 1))
 	rt.jmu.Unlock()
-	time.Sleep(time.Duration(attempt)*base + j)
+	t := time.NewTimer(time.Duration(attempt)*base + j)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-rt.stop:
+	}
 }
 
 // do issues one forwarded request and buffers the response. The forward
 // context derives from the client request when present (a client
-// disconnect cancels the forward), standalone otherwise.
+// disconnect cancels the forward), from the router's lifetime otherwise
+// (Close cancels it).
 func (rt *Router) do(orig *http.Request, st *replicaState, method, path string, body []byte, headers map[string]string) (*bufferedResp, error) {
-	base := context.Background()
+	base := rt.baseCtx
 	if orig != nil {
 		base = orig.Context()
 	}

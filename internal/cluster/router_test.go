@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -434,4 +435,92 @@ func waitPolled(t *testing.T, rt *Router) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("replicas never polled")
+}
+
+// TestCloseCancelsInflightPoll pins the shutdown contract: a health poll
+// wedged on an unresponsive replica must not hold Close hostage until the
+// HTTP client timeout — the router's lifetime context cancels it.
+func TestCloseCancelsInflightPoll(t *testing.T) {
+	polled := make(chan struct{}, 8)
+	blocker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case polled <- struct{}{}:
+		default:
+		}
+		<-r.Context().Done() // hang until the router gives up
+	}))
+	defer blocker.Close()
+
+	// HealthInterval 500ms means the poll's own timeout is 2s; a prompt
+	// Close proves cancellation, not timeout, ended the request.
+	rt, err := NewRouter(RouterConfig{
+		Replicas:       []Replica{{Name: "n0", URL: blocker.URL}},
+		HealthInterval: 500 * time.Millisecond,
+		RetryBackoff:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-polled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("replica never polled")
+	}
+	start := time.Now()
+	rt.Close()
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Close took %v with a wedged poll; the lifetime context should cancel it", d)
+	}
+}
+
+// TestPollReusesConnection pins the drain-before-close behaviour: the
+// health poller must leave the keep-alive connection reusable even when
+// the replica pads its response beyond what the JSON decoder consumes.
+// Without the drain every poll dials a fresh connection.
+func TestPollReusesConnection(t *testing.T) {
+	hits := make(chan struct{}, 16)
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}`))
+		w.Write(bytes.Repeat([]byte(" "), 16<<10)) // padding the decoder won't read
+		select {
+		case hits <- struct{}{}:
+		default:
+		}
+	}))
+	var mu sync.Mutex
+	conns := 0
+	srv.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			mu.Lock()
+			conns++
+			mu.Unlock()
+		}
+	}
+	srv.Start()
+	defer srv.Close()
+
+	rt, err := NewRouter(RouterConfig{
+		Replicas:       []Replica{{Name: "n0", URL: srv.URL}},
+		HealthInterval: 20 * time.Millisecond,
+		RetryBackoff:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	for i := 0; i < 4; i++ {
+		select {
+		case <-hits:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d polls arrived", i)
+		}
+	}
+	mu.Lock()
+	got := conns
+	mu.Unlock()
+	if got > 2 {
+		t.Fatalf("4 polls used %d connections; draining the body should let keep-alive reuse one", got)
+	}
 }

@@ -85,6 +85,12 @@ type TOPIL struct {
 	nextMig float64
 	settle  int // migration epochs left to skip after a migration
 	stats   OverheadStats
+
+	// featBuf is the reused feature matrix for migrate: one row per
+	// running app, refilled in place each epoch so the per-tick path does
+	// not allocate (rows are only (re)made when the app count or platform
+	// shape grows).
+	featBuf [][]float64
 }
 
 // New creates a TOP-IL manager using the given inference backend (an
@@ -184,7 +190,18 @@ func (t *TOPIL) migrate() {
 		return
 	}
 
-	ratings := t.backend.Infer(features.Vectors(s))
+	dim := features.Dim(s.NumCores, len(s.Clusters))
+	for len(t.featBuf) < n {
+		t.featBuf = append(t.featBuf, nil)
+	}
+	rows := t.featBuf[:n]
+	for i := range rows {
+		if len(rows[i]) != dim {
+			rows[i] = make([]float64, dim)
+		}
+		features.VectorInto(rows[i], s, i)
+	}
+	ratings := t.backend.Infer(rows)
 
 	// Occupancy by applications other than each AoI.
 	occupants := make([]int, s.NumCores)

@@ -147,18 +147,53 @@ func RequiredFreqWithout(s Snapshot, cluster int, aoiID sim.AppID) float64 {
 }
 
 // Vector builds the feature vector for the AoI at index aoi in s.Apps.
-// It panics on an out-of-range index.
+// It panics on an out-of-range index. Hot paths that cannot afford the
+// allocation use VectorInto with a reused buffer.
 func Vector(s Snapshot, aoi int) []float64 {
+	dst := make([]float64, Dim(s.NumCores, len(s.Clusters)))
+	VectorInto(dst, s, aoi)
+	return dst
+}
+
+// VectorInto builds the feature vector for the AoI at index aoi in s.Apps
+// into dst, which must have length Dim(s.NumCores, len(s.Clusters)). The
+// per-cluster ratio and per-core utilization scratch live inside dst
+// itself (the layout reserves their segments), so the call performs no
+// heap allocation — this is the once-per-app-per-epoch runtime path of
+// the paper's daemon. It panics on an out-of-range index or a buffer of
+// the wrong length.
+//
+//hot:per-epoch-inference-path
+func VectorInto(dst []float64, s Snapshot, aoi int) {
 	if aoi < 0 || aoi >= len(s.Apps) {
-		panic(fmt.Sprintf("features: AoI index %d out of range [0,%d)", aoi, len(s.Apps)))
+		panicAoIRange(aoi, len(s.Apps))
+	}
+	if len(dst) != Dim(s.NumCores, len(s.Clusters)) {
+		panicMsg("features: feature buffer length mismatch")
 	}
 	a := s.Apps[aoi]
-	ratios := make([]float64, len(s.Clusters))
+	ratios := dst[3+s.NumCores : 3+s.NumCores+len(s.Clusters)]
 	for ci, cs := range s.Clusters {
 		ratios[ci] = RequiredFreqWithout(s, ci, a.ID) / cs.Freq
 	}
-	return Assemble(a.IPS, a.L2DPS, a.Core, s.NumCores, a.QoS, ratios,
-		BackgroundOccupancy(s, a.ID))
+	utils := dst[UtilOffset(s.NumCores, len(s.Clusters)):]
+	BackgroundOccupancyInto(utils, s, a.ID)
+	AssembleInto(dst, a.IPS, a.L2DPS, a.Core, s.NumCores, a.QoS, ratios, utils)
+}
+
+// panicMsg keeps panic's interface conversion out of the //hot callers:
+// even a constant message counts against the zero-allocation gate. It
+// always panics with msg.
+//
+//go:noinline
+func panicMsg(msg string) { panic(msg) }
+
+// panicAoIRange keeps the formatting allocation out of the //hot callers:
+// fmt.Sprintf arguments escape, and the gate must only see the live path.
+//
+//go:noinline
+func panicAoIRange(aoi, n int) {
+	panic(fmt.Sprintf("features: AoI index %d out of range [0,%d)", aoi, n))
 }
 
 // Assemble builds the raw feature vector from its components: ips and the
@@ -170,29 +205,51 @@ func Vector(s Snapshot, aoi int) []float64 {
 // length differs from numCores.
 func Assemble(ips, l2dps float64, aoiCore, numCores int, qosTarget float64,
 	freqRatios, utils []float64) []float64 {
+	v := make([]float64, Dim(numCores, len(freqRatios)))
+	AssembleInto(v, ips, l2dps, aoiCore, numCores, qosTarget, freqRatios, utils)
+	return v
+}
+
+// AssembleInto is Assemble writing into a caller-owned buffer of length
+// Dim(numCores, len(freqRatios)); it performs no heap allocation. The
+// freqRatios and utils arguments may alias their own segments of dst
+// (VectorInto relies on this to stay scratch-free).
+//
+//hot:per-epoch-inference-path
+func AssembleInto(dst []float64, ips, l2dps float64, aoiCore, numCores int,
+	qosTarget float64, freqRatios, utils []float64) {
 	if aoiCore < 0 || aoiCore >= numCores {
-		panic(fmt.Sprintf("features: AoI core %d out of range [0,%d)", aoiCore, numCores))
+		panicCoreRange(aoiCore, numCores)
 	}
 	if len(utils) != numCores {
-		panic("features: utilization vector length mismatch")
+		panicMsg("features: utilization vector length mismatch")
 	}
-	v := make([]float64, 0, 3+2*numCores+len(freqRatios))
+	if len(dst) != Dim(numCores, len(freqRatios)) {
+		panicMsg("features: feature buffer length mismatch")
+	}
 	// (a) AoI characteristics.
-	v = append(v, ips/ipsScale, l2dps/l2dScale)
+	dst[0] = ips / ipsScale
+	dst[1] = l2dps / l2dScale
 	for c := 0; c < numCores; c++ {
 		if c == aoiCore {
-			v = append(v, 1)
+			dst[2+c] = 1
 		} else {
-			v = append(v, 0)
+			dst[2+c] = 0
 		}
 	}
 	// (b) QoS target.
-	v = append(v, qosTarget/ipsScale)
+	dst[2+numCores] = qosTarget / ipsScale
 	// (c) background: required per-cluster frequency without the AoI,
 	// relative to the current frequency, and per-core occupancy.
-	v = append(v, freqRatios...)
-	v = append(v, utils...)
-	return v
+	copy(dst[3+numCores:], freqRatios)
+	copy(dst[3+numCores+len(freqRatios):], utils)
+}
+
+// panicCoreRange keeps the formatting allocation out of the //hot callers.
+//
+//go:noinline
+func panicCoreRange(core, n int) {
+	panic(fmt.Sprintf("features: AoI core %d out of range [0,%d)", core, n))
 }
 
 // Describe renders a feature vector as a human-readable multi-line string
@@ -232,12 +289,26 @@ func Describe(v []float64, numCores, numClusters int) string {
 // core hosts any application other than aoiID, else 0.
 func BackgroundOccupancy(s Snapshot, aoiID sim.AppID) []float64 {
 	util := make([]float64, s.NumCores)
+	BackgroundOccupancyInto(util, s, aoiID)
+	return util
+}
+
+// BackgroundOccupancyInto fills dst (length s.NumCores) with the per-core
+// utilization features without allocating. It panics on a length mismatch.
+//
+//hot:per-epoch-inference-path
+func BackgroundOccupancyInto(dst []float64, s Snapshot, aoiID sim.AppID) {
+	if len(dst) != s.NumCores {
+		panicMsg("features: utilization buffer length mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for _, b := range s.Apps {
 		if b.ID != aoiID {
-			util[b.Core] = 1
+			dst[b.Core] = 1
 		}
 	}
-	return util
 }
 
 // Vectors builds the feature matrix with one row per running application —

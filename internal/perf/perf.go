@@ -67,6 +67,8 @@ func (m Model) missRate(p workload.Phase, k platform.ClusterKind) float64 {
 
 // TimePerInstr returns the seconds per instruction of phase p running alone
 // on a core of kind k at frequency f (Hz).
+//
+//hot:per-app-per-tick-cpi-stack
 func (m Model) TimePerInstr(p workload.Phase, k platform.ClusterKind, f float64) float64 {
 	return 1/(ipc(p, k)*f) + m.missRate(p, k)*m.MemLatency
 }
@@ -74,6 +76,8 @@ func (m Model) TimePerInstr(p workload.Phase, k platform.ClusterKind, f float64)
 // IPS returns the instructions per second of phase p on a core of kind k at
 // frequency f, given the fraction `share` in (0,1] of core time the
 // application receives (time-sharing with co-located applications).
+//
+//hot:per-app-per-tick-cpi-stack
 func (m Model) IPS(p workload.Phase, k platform.ClusterKind, f, share float64) float64 {
 	if share <= 0 {
 		return 0
@@ -83,6 +87,8 @@ func (m Model) IPS(p workload.Phase, k platform.ClusterKind, f, share float64) f
 
 // L2DPS returns the L2 data-cache accesses per second corresponding to the
 // achieved IPS — the performance counter the policies observe.
+//
+//hot:per-app-per-tick-cpi-stack
 func L2DPS(p workload.Phase, achievedIPS float64) float64 {
 	return p.L2APKI / 1000 * achievedIPS
 }
@@ -90,6 +96,8 @@ func L2DPS(p workload.Phase, achievedIPS float64) float64 {
 // CycleUtilization returns the fraction of active cycles doing work rather
 // than stalling on memory, in (0,1]. It feeds the power model's activity
 // factor: memory-stalled cycles switch less logic.
+//
+//hot:per-app-per-tick-cpi-stack
 func (m Model) CycleUtilization(p workload.Phase, k platform.ClusterKind, f float64) float64 {
 	core := 1 / (ipc(p, k) * f)
 	return core / m.TimePerInstr(p, k, f)

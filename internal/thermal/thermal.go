@@ -83,8 +83,25 @@ func (n *Network) SetAmbientCoupling(i int, g float64) {
 	n.maxStep = 0
 }
 
+// panicMsg keeps panic's interface conversion out of the //hot callers:
+// even a constant message counts against the zero-allocation gate. It
+// always panics with msg.
+//
+//go:noinline
+func panicMsg(msg string) { panic(msg) }
+
+// panicPowerLen keeps the formatting allocation out of the //hot Step:
+// fmt.Sprintf arguments escape, and the gate must only see the live path.
+//
+//go:noinline
+func panicPowerLen(got, want int) {
+	panic(fmt.Sprintf("thermal: power vector length %d, want %d", got, want))
+}
+
 // stableStep returns a forward-Euler step below the stability limit
 // dt < C_i / ΣG_i for every node.
+//
+//hot:per-simulation-tick
 func (n *Network) stableStep() float64 {
 	if n.maxStep > 0 {
 		return n.maxStep
@@ -110,12 +127,14 @@ func (n *Network) stableStep() float64 {
 // injection (W). It subdivides dt internally to stay within the explicit
 // integration stability limit. It panics on a power vector of the wrong
 // length or a non-positive dt.
+//
+//hot:per-simulation-tick
 func (n *Network) Step(power []float64, dt float64) {
 	if len(power) != len(n.Nodes) {
-		panic(fmt.Sprintf("thermal: power vector length %d, want %d", len(power), len(n.Nodes)))
+		panicPowerLen(len(power), len(n.Nodes))
 	}
 	if dt <= 0 {
-		panic("thermal: non-positive dt")
+		panicMsg("thermal: non-positive dt")
 	}
 	h := n.stableStep()
 	steps := int(dt/h) + 1

@@ -185,7 +185,29 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 echo "== topil-lint ./..."
-go run ./cmd/topil-lint ./...
+# Findings fail the build (exit 3); on a clean tree the JSON envelope's
+# analysis_wall_seconds must stay inside the wall-clock budget — the
+# per-package result cache (keyed on file content hashes) keeps warm
+# re-runs near-instant, so a blown budget means the engine regressed.
+lint_budget=60
+lint_out=$(mktemp)
+go run ./cmd/topil-lint -json ./... >"$lint_out" || {
+    go run ./cmd/topil-lint -cache=false ./... || true
+    rm -f "$lint_out"
+    echo "topil-lint: findings (or failure) — see above"
+    exit 1
+}
+lint_wall=$(sed -n 's/.*"analysis_wall_seconds": \([0-9.]*\).*/\1/p' "$lint_out")
+rm -f "$lint_out"
+if [ -z "$lint_wall" ]; then
+    echo "topil-lint: no analysis_wall_seconds in JSON output"
+    exit 1
+fi
+if awk -v w="$lint_wall" -v b="$lint_budget" 'BEGIN { exit !(w + 0 > b + 0) }'; then
+    echo "topil-lint: analysis took ${lint_wall}s, budget is ${lint_budget}s"
+    exit 1
+fi
+echo "topil-lint clean (analysis ${lint_wall}s, budget ${lint_budget}s)"
 echo "== go test ./..."
 go test ./...
 echo "== go test -race (serve, cluster, npu, nn, workload, sim, telemetry)"
