@@ -32,6 +32,11 @@ type DVFSLoop struct {
 	// accurate for small changes, so jumping overshoots — this switch
 	// exists for the ablation study quantifying that design choice.
 	Jump bool
+
+	// snap/views are reused between Steps so that the loop — which runs
+	// every 50 ms manager tick — performs no steady-state allocation.
+	snap  features.Snapshot
+	views []sim.AppView
 }
 
 // NewDVFSLoop creates a control loop bound to the environment.
@@ -48,7 +53,8 @@ func (d *DVFSLoop) NotifyMigration() { d.skip = 2 }
 // applications (the caller's overhead accounting scales with it, since
 // reading perf counters dominates the loop's cost).
 func (d *DVFSLoop) Step() int {
-	s := features.FromEnv(d.env)
+	d.views = features.FromEnvInto(&d.snap, d.env, d.views)
+	s := &d.snap
 	if d.skip > 0 {
 		d.skip--
 		return len(s.Apps)

@@ -89,8 +89,12 @@ type TOPIL struct {
 	// featBuf is the reused feature matrix for migrate: one row per
 	// running app, refilled in place each epoch so the per-tick path does
 	// not allocate (rows are only (re)made when the app count or platform
-	// shape grows).
+	// shape grows). snap/views/batch are the matching reused snapshot
+	// capture and per-epoch feature aggregates.
 	featBuf [][]float64
+	snap    features.Snapshot
+	views   []sim.AppView
+	batch   features.Batch
 }
 
 // New creates a TOP-IL manager using the given inference backend (an
@@ -172,7 +176,8 @@ func (t *TOPIL) Place(job workload.Job) platform.CoreID {
 // migrate performs one migration epoch: parallel inference with every
 // running application as the AoI, then the single best migration.
 func (t *TOPIL) migrate() {
-	s := features.FromEnv(t.env)
+	t.views = features.FromEnvInto(&t.snap, t.env, t.views)
+	s := &t.snap
 	n := len(s.Apps)
 	t.stats.MigrationInvocations++
 	cost := t.cfg.MigrationFixedSec + t.backend.Latency(n).Seconds()
@@ -190,6 +195,9 @@ func (t *TOPIL) migrate() {
 		return
 	}
 
+	// One Reset shares the Eq. (1)/(2) aggregates (and the occupancy
+	// counts reused below) across all n feature rows.
+	t.batch.Reset(t.snap)
 	dim := features.Dim(s.NumCores, len(s.Clusters))
 	for len(t.featBuf) < n {
 		t.featBuf = append(t.featBuf, nil)
@@ -199,15 +207,9 @@ func (t *TOPIL) migrate() {
 		if len(rows[i]) != dim {
 			rows[i] = make([]float64, dim)
 		}
-		features.VectorInto(rows[i], s, i)
+		t.batch.VectorInto(rows[i], i)
 	}
 	ratings := t.backend.Infer(rows)
-
-	// Occupancy by applications other than each AoI.
-	occupants := make([]int, s.NumCores)
-	for _, a := range s.Apps {
-		occupants[a.Core]++
-	}
 
 	bestImp := math.Inf(-1)
 	bestApp, bestCore := -1, platform.CoreID(-1)
@@ -218,7 +220,7 @@ func (t *TOPIL) migrate() {
 		// least-crowded ones).
 		minOthers := 1 << 30
 		for c := 0; c < s.NumCores; c++ {
-			others := occupants[c]
+			others := t.batch.Occupancy(c)
 			if c == a.Core {
 				others--
 			}
@@ -230,7 +232,7 @@ func (t *TOPIL) migrate() {
 			if c == a.Core {
 				continue
 			}
-			others := occupants[c]
+			others := t.batch.Occupancy(c)
 			if others != minOthers {
 				continue
 			}

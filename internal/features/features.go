@@ -313,10 +313,15 @@ func BackgroundOccupancyInto(dst []float64, s Snapshot, aoiID sim.AppID) {
 
 // Vectors builds the feature matrix with one row per running application —
 // the batch the daemon sends to the NPU (each application as the AoI once).
+// It shares the Eq. (1)/(2) aggregates across rows via Batch, so the matrix
+// costs O(n·(cores+clusters)) instead of O(n²·clusters).
 func Vectors(s Snapshot) [][]float64 {
+	var b Batch
+	b.Reset(s)
 	out := make([][]float64, len(s.Apps))
-	for i := range s.Apps {
-		out[i] = Vector(s, i)
+	for i := range out {
+		out[i] = make([]float64, Dim(s.NumCores, len(s.Clusters)))
+		b.VectorInto(out[i], i)
 	}
 	return out
 }

@@ -1,0 +1,50 @@
+package perf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// TestCachedRewritesAreExact pins the algebraic rewrites the sim engine's
+// per-app perf cache performs: caching TimePerInstr and L2APKI/1000 and
+// folding them into the per-tick expressions must reproduce the direct
+// model calls bit-for-bit (Go evaluates the product chains left to right in
+// both forms, so no reassociation occurs).
+func TestCachedRewritesAreExact(t *testing.T) {
+	m := Default()
+	rng := rand.New(rand.NewSource(17))
+	kinds := []platform.ClusterKind{platform.Little, platform.Mid, platform.Big}
+	specs := func() []workload.AppSpec {
+		var out []workload.AppSpec
+		for _, n := range workload.MixedPool() {
+			s, _ := workload.ByName(n)
+			out = append(out, s)
+		}
+		return out
+	}()
+	for i := 0; i < 10000; i++ {
+		spec := specs[rng.Intn(len(specs))]
+		ph := spec.Phases[rng.Intn(len(spec.Phases))]
+		k := kinds[rng.Intn(len(kinds))]
+		f := 0.5e9 + rng.Float64()*2e9
+		share := 1 / float64(1+rng.Intn(6))
+		scale := rng.Float64()
+		avail := rng.Float64()
+
+		tpi := m.TimePerInstr(ph, k, f)
+		cachedIPS := share / tpi * scale * avail
+		directIPS := m.IPS(ph, k, f, share) * scale * avail
+		if cachedIPS != directIPS {
+			t.Fatalf("%s k=%v f=%v share=%v: cached IPS %v != direct %v",
+				spec.Name, k, f, share, cachedIPS, directIPS)
+		}
+
+		l2pi := ph.L2APKI / 1000
+		if got, want := l2pi*cachedIPS, L2DPS(ph, directIPS); got != want {
+			t.Fatalf("%s: cached L2DPS %v != direct %v", spec.Name, got, want)
+		}
+	}
+}

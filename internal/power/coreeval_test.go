@@ -1,0 +1,35 @@
+package power
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// TestCoreEvalMatchesModel pins the compiled evaluator's contract: for any
+// operating point, CoreEval.Power returns bit-for-bit the float64 that
+// Model.Core computes — the engine caches evaluators between DVFS changes
+// on the strength of this equality.
+func TestCoreEvalMatchesModel(t *testing.T) {
+	m := Default()
+	rng := rand.New(rand.NewSource(42))
+	kinds := []platform.ClusterKind{platform.Little, platform.Mid, platform.Big}
+	for i := 0; i < 10000; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		f := 0.5e9 + rng.Float64()*2.5e9
+		v := 0.6 + rng.Float64()*0.6
+		ev := m.Compile(k, f, v)
+		activity := rng.Float64() * 1.2 // occasionally above 1, below idle floor
+		if rng.Intn(4) == 0 {
+			activity = rng.Float64() * 0.05 // exercise the idle clamp
+		}
+		temp := -40 + rng.Float64()*160 // includes the leakage floor region
+		got := ev.Power(activity, temp)
+		want := m.Core(k, f, v, activity, temp)
+		if got != want {
+			t.Fatalf("kind %v f=%v v=%v a=%v T=%v: CoreEval %v != Model.Core %v",
+				k, f, v, activity, temp, got, want)
+		}
+	}
+}

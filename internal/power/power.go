@@ -81,3 +81,46 @@ func (m Model) Leakage(k platform.ClusterKind, v, tempC float64) float64 {
 func (m Model) Core(k platform.ClusterKind, f, v, activity, tempC float64) float64 {
 	return m.Dynamic(k, f, v, activity) + m.Leakage(k, v, tempC)
 }
+
+// CoreEval is a compiled per-(kind, frequency, voltage) core-power
+// evaluator: the parameter lookups and the VF-dependent coefficient
+// products are hoisted out of the per-tick path. Power produces bit-for-bit
+// the same float64 as Model.Core for the compiled operating point — the
+// coefficients are formed with the identical left-associated products the
+// direct formulas evaluate — so callers may cache evaluators between DVFS
+// changes without perturbing simulation results.
+type CoreEval struct {
+	dynCoeff float64 // W at activity 1: CEff·v·v·f
+	idleFrac float64 // activity floor (clock tree keeps switching)
+	leakV    float64 // W at reference temperature: LeakCoeff·v
+	ltc      float64 // relative leakage increase per °C
+	tRef     float64 // leakage reference temperature (°C)
+}
+
+// Compile builds the evaluator for a core of kind k at frequency f (Hz) and
+// voltage v.
+func (m Model) Compile(k platform.ClusterKind, f, v float64) CoreEval {
+	p := m.Params[k]
+	return CoreEval{
+		dynCoeff: p.CEff * v * v * f,
+		idleFrac: p.IdleFrac,
+		leakV:    p.LeakCoeff * v,
+		ltc:      m.LeakTempCoeff,
+		tRef:     m.TRef,
+	}
+}
+
+// Power returns the total core power in W for the compiled operating point,
+// given the activity factor in [0,1] and the die temperature in °C.
+//
+//hot:per-core-per-tick-power
+func (ev CoreEval) Power(activity, tempC float64) float64 {
+	if activity < ev.idleFrac {
+		activity = ev.idleFrac
+	}
+	scale := 1 + ev.ltc*(tempC-ev.tRef)
+	if scale < 0.5 {
+		scale = 0.5
+	}
+	return ev.dynCoeff*activity + ev.leakV*scale
+}

@@ -75,6 +75,14 @@ type Config struct {
 	// ticks (default 10, i.e. 100 ms).
 	WindowTicks int
 
+	// ThermalKernel selects the thermal integration kernel. The zero value
+	// keeps whatever the network is configured with (the collapsed float64
+	// propagator by default); set thermal.KernelFloat32 for the reduced-
+	// precision variant (gate with the testkit tolerance diff) or
+	// thermal.KernelReference for the naive Euler stepper used as the
+	// differential-test baseline.
+	ThermalKernel thermal.Kernel
+
 	// Telemetry optionally receives the engine's sim_* metric families.
 	// Nil (the default) leaves every counter a nil-receiver no-op, so
 	// deterministic runs pay nothing.
@@ -133,6 +141,18 @@ type appState struct {
 	winL2D  []float64
 	winNext int
 	winLen  int
+
+	// Per-app perf-model cache: the phase-derived CPI-stack terms at the
+	// app's current (core kind, effective frequency). Valid while pcEpoch
+	// matches Engine.perfEpoch and executed < pcEnd (a conservative phase-
+	// span bound, see workload.PhaseSpanAt); refreshPerfCache re-derives
+	// every term from the ground-truth model, so cached and uncached paths
+	// are bit-identical.
+	pcEpoch int64
+	pcEnd   float64 // instructions; refresh at or before the phase boundary
+	pcTpi   float64 // s/instr: perf.TimePerInstr of the cached phase
+	pcCu    float64 // cycle utilization of the cached phase
+	pcL2pi  float64 // L2 accesses per instruction (L2APKI/1000)
 
 	instrTotal float64 // lifetime instructions (for mean IPS)
 
@@ -213,10 +233,28 @@ type Engine struct {
 	overheadDebt float64 // seconds of management overhead to charge to core 0
 
 	corePower []float64 // scratch: power per thermal node
-	tempsBuf  []float64 // scratch: thermal.TempsInto target, one per node
 	coreUtil  [][]float64
 	coreUtilN int
 	utilNext  int
+
+	// Incrementally maintained per-core structures: byCore holds exactly
+	// the live (arrived, unfinished) apps of each core, liveCnt mirrors its
+	// lengths for placement, maxStall is a high-water mark over the pending
+	// migration-stall deadlines (when it has passed, every app on the core
+	// is runnable and the per-tick stall scan is skipped), and powerCnt is
+	// the post-completion runnable count execute hands to integrate and the
+	// metrics sampler so neither rescans membership.
+	clusterOf []int     // core -> cluster index (static topology)
+	liveCnt   []int     // live apps per core (== len(byCore[c]))
+	maxStall  []float64 // upper bound on stallUntil over apps of the core
+	powerCnt  []int     // runnable apps per core as of this tick's execute
+
+	// perfEpoch invalidates the per-app perf caches and the compiled power
+	// evaluators: it bumps whenever an effective VF level may have changed
+	// (userspace DVFS requests, DTM cap moves).
+	perfEpoch    int64
+	powEval      []power.CoreEval // per-cluster compiled evaluators
+	powEvalEpoch int64
 
 	tel   engineMetrics // nil-safe handles; no-ops without Config.Telemetry
 	trace engineTrace   // sim-time spans; no-ops without Config.Tracer
@@ -251,6 +289,9 @@ func New(cfg Config) *Engine {
 	if cfg.WindowTicks <= 0 {
 		cfg.WindowTicks = 10
 	}
+	if cfg.ThermalKernel != thermal.KernelPropagator {
+		cfg.Thermal.SetKernel(cfg.ThermalKernel)
+	}
 	e := &Engine{
 		cfg:          cfg,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
@@ -258,11 +299,19 @@ func New(cfg Config) *Engine {
 		dtmCap:       make([]int, cfg.Platform.NumClusters()),
 		byCore:       make([][]AppID, cfg.Platform.NumCores()),
 		corePower:    make([]float64, len(cfg.Thermal.Nodes)),
-		tempsBuf:     make([]float64, len(cfg.Thermal.Nodes)),
+		clusterOf:    make([]int, cfg.Platform.NumCores()),
+		liveCnt:      make([]int, cfg.Platform.NumCores()),
+		maxStall:     make([]float64, cfg.Platform.NumCores()),
+		powerCnt:     make([]int, cfg.Platform.NumCores()),
+		powEval:      make([]power.CoreEval, cfg.Platform.NumClusters()),
+		powEvalEpoch: -1,
 		sensorT:      cfg.Thermal.Max(),
 		managerEvery: ticksOf(cfg.ManagerPeriod, cfg.Dt),
 		sensorEvery:  ticksOf(cfg.SensorPeriod, cfg.Dt),
 		dtmEvery:     1,
+	}
+	for c := 0; c < cfg.Platform.NumCores(); c++ {
+		e.clusterOf[c] = cfg.Platform.ClusterIndexOf(platform.CoreID(c))
 	}
 	if cfg.DTM.Enable {
 		e.dtmEvery = ticksOf(cfg.DTM.Period, cfg.Dt)
@@ -449,28 +498,32 @@ func (e *Engine) admit(job workload.Job, m Manager) {
 		core = e.leastLoadedCore()
 	}
 	a := &appState{
-		id:     AppID(len(e.apps)),
-		job:    job,
-		core:   core,
-		start:  e.now,
-		winIPS: make([]float64, e.cfg.WindowTicks),
-		winL2D: make([]float64, e.cfg.WindowTicks),
+		id:      AppID(len(e.apps)),
+		job:     job,
+		core:    core,
+		start:   e.now,
+		winIPS:  make([]float64, e.cfg.WindowTicks),
+		winL2D:  make([]float64, e.cfg.WindowTicks),
+		pcEpoch: -1,
 	}
 	a.arrived = true
 	e.apps = append(e.apps, a)
 	e.byCore[core] = append(e.byCore[core], a.id)
+	e.liveCnt[core]++
 	e.tel.arrivals.Inc()
 	e.tel.appsRunning.Add(1)
 	e.trace.traceAdmit(e, a)
 }
 
 // leastLoadedCore mimics CFS initial placement: the core with the fewest
-// runnable applications, lowest ID on ties.
+// live applications, lowest ID on ties. It reads the incrementally
+// maintained counts; TestPlacementMatchesScanReference pins its decisions
+// against a scan over the per-core membership lists.
 func (e *Engine) leastLoadedCore() platform.CoreID {
-	best, bestN := platform.CoreID(0), len(e.byCore[0])+1
-	for c := range e.byCore {
-		if n := len(e.byCore[c]); n < bestN {
-			best, bestN = platform.CoreID(c), n
+	best, bestN := platform.CoreID(0), e.liveCnt[0]
+	for c := 1; c < len(e.liveCnt); c++ {
+		if e.liveCnt[c] < bestN {
+			best, bestN = platform.CoreID(c), e.liveCnt[c]
 		}
 	}
 	return best
@@ -491,43 +544,49 @@ func (e *Engine) execute(dt float64) {
 		e.mets.overheadCharged += used
 	}
 
+	tickEnd := e.now + dt
 	for c := range e.byCore {
-		// Snapshot: completions below mutate e.byCore[c] while iterating.
-		ids := append([]AppID(nil), e.byCore[c]...)
-		cid := e.cfg.Platform.ClusterIndexOf(platform.CoreID(c))
-		cluster := e.cfg.Platform.Clusters[cid]
-		f := cluster.FreqAt(e.effFreqIdx(cid))
-		kind := cluster.Kind
-
-		// Runnable = arrived, not done, not stalled by migration for the
-		// whole tick. Partially stalled apps run for the remainder.
-		runnable := ids[:0:0]
-		for _, id := range ids {
-			a := e.apps[id]
-			if !a.done && a.stallUntil < e.now+dt {
-				runnable = append(runnable, id)
+		ids := e.byCore[c]
+		if len(ids) == 0 {
+			e.pushCoreUtil(c, 0)
+			e.powerCnt[c] = 0
+			continue
+		}
+		// Runnable = live and not stalled by migration for the whole tick
+		// (partially stalled apps run for the remainder). byCore holds
+		// exactly the live apps, so unless a stall deadline is still
+		// pending — the per-core high-water mark has not passed — the
+		// count needs no scan at all.
+		runnableN := len(ids)
+		if e.maxStall[c] >= tickEnd {
+			runnableN = 0
+			for _, id := range ids {
+				if e.apps[id].stallUntil < tickEnd {
+					runnableN++
+				}
 			}
 		}
 		share := 0.0
-		if len(runnable) > 0 {
-			share = 1 / float64(len(runnable))
+		if runnableN > 0 {
+			share = 1 / float64(runnableN)
 		}
 		scale := 1.0
 		if c == 0 {
 			scale = core0Scale
 		}
 		util := 0.0
-		if len(runnable) > 0 {
+		if runnableN > 0 {
 			util = scale
 		}
 		e.pushCoreUtil(c, util)
 
+		// Completions are deferred to a single in-place compaction below so
+		// the loop iterates byCore[c] directly, without the defensive
+		// snapshot copy the old mutate-while-iterating removal needed.
+		nDone := 0
 		for _, id := range ids {
 			a := e.apps[id]
-			if a.done {
-				continue
-			}
-			if a.stallUntil >= e.now+dt {
+			if a.stallUntil >= tickEnd {
 				a.pushWindow(0, 0)
 				continue
 			}
@@ -538,8 +597,10 @@ func (e *Engine) execute(dt float64) {
 			if a.stallUntil > e.now {
 				avail = (e.now + dt - a.stallUntil) / dt
 			}
-			ph := a.job.Spec.PhaseAt(a.executed)
-			ips := e.cfg.Perf.IPS(ph, kind, f, share) * scale * avail
+			if a.pcEpoch != e.perfEpoch || a.executed >= a.pcEnd {
+				e.refreshPerfCache(a)
+			}
+			ips := share / a.pcTpi * scale * avail
 			instr := ips * dt
 			if a.executed+instr >= a.job.Spec.TotalInstr {
 				// Completion within this tick.
@@ -548,57 +609,86 @@ func (e *Engine) execute(dt float64) {
 				instr = remain
 				a.done = true
 				a.end = e.now + frac*dt
-				e.removeFromCore(a.id, a.core)
+				nDone++
 				e.tel.completions.Inc()
 				e.tel.appsRunning.Add(-1)
 				e.trace.traceComplete(a)
 			}
 			a.executed += instr
 			a.instrTotal += instr
-			a.pushWindow(ips, perf.L2DPS(ph, ips))
+			a.pushWindow(ips, a.pcL2pi*ips)
 		}
+		if nDone > 0 {
+			out := ids[:0]
+			for _, id := range ids {
+				if !e.apps[id].done {
+					out = append(out, id)
+				}
+			}
+			e.byCore[c] = out
+			e.liveCnt[c] -= nDone
+		}
+		e.powerCnt[c] = runnableN - nDone
 	}
+}
+
+// refreshPerfCache re-derives an app's cached CPI-stack terms from the
+// ground truth (PhaseAt via PhaseSpanAt, plus the perf model at the app's
+// current cluster and effective frequency). Every cached value is exactly
+// the float64 the uncached per-tick path would compute — the cache only
+// removes redundant recomputation, never changes results.
+func (e *Engine) refreshPerfCache(a *appState) {
+	ph, end := a.job.Spec.PhaseSpanAt(a.executed)
+	cid := e.clusterOf[a.core]
+	cluster := e.cfg.Platform.Clusters[cid]
+	f := cluster.FreqAt(e.effFreqIdx(cid))
+	a.pcTpi = e.cfg.Perf.TimePerInstr(ph, cluster.Kind, f)
+	a.pcCu = e.cfg.Perf.CycleUtilization(ph, cluster.Kind, f)
+	a.pcL2pi = ph.L2APKI / 1000
+	a.pcEnd = end
+	a.pcEpoch = e.perfEpoch
 }
 
 func (e *Engine) pushCoreUtil(c int, u float64) {
 	e.coreUtil[c][e.utilNext%e.coreUtilN] = u
 }
 
-// integrate computes per-node power and steps the thermal network.
+// integrate computes per-node power and steps the thermal network. The
+// fused pass reads the pre-step temperatures straight out of the kernel's
+// state (TempsView) for the leakage feedback — no intermediate copy — and
+// reuses the runnable counts execute just produced instead of rescanning
+// the per-core membership.
 func (e *Engine) integrate(dt float64) {
-	for i := range e.corePower {
-		e.corePower[i] = 0
-	}
-	temps := e.tempsBuf
-	e.cfg.Thermal.TempsInto(temps)
-	for c := 0; c < e.cfg.Platform.NumCores(); c++ {
-		cid := e.cfg.Platform.ClusterIndexOf(platform.CoreID(c))
-		cluster := e.cfg.Platform.Clusters[cid]
-		idx := e.effFreqIdx(cid)
-		f, v := cluster.FreqAt(idx), cluster.VoltageAt(idx)
-
-		activity := 0.0
-		ids := e.byCore[c]
-		n := 0
-		for _, id := range ids {
-			a := e.apps[id]
-			if a.done || a.stallUntil >= e.now+dt {
-				continue
-			}
-			n++
+	if e.powEvalEpoch != e.perfEpoch {
+		for ci, cluster := range e.cfg.Platform.Clusters {
+			idx := e.effFreqIdx(ci)
+			e.powEval[ci] = e.cfg.Power.Compile(cluster.Kind,
+				cluster.FreqAt(idx), cluster.VoltageAt(idx))
 		}
-		if n > 0 {
+		e.powEvalEpoch = e.perfEpoch
+	}
+	temps := e.cfg.Thermal.TempsView() // consumed before Step mutates it
+	tickEnd := e.now + dt
+	numCores := e.cfg.Platform.NumCores()
+	for c := 0; c < numCores; c++ {
+		activity := 0.0
+		if n := e.powerCnt[c]; n > 0 {
 			share := 1 / float64(n)
-			for _, id := range ids {
+			for _, id := range e.byCore[c] {
 				a := e.apps[id]
-				if a.done || a.stallUntil >= e.now+dt {
+				if a.stallUntil >= tickEnd {
 					continue
 				}
-				ph := a.job.Spec.PhaseAt(a.executed)
-				activity += share * e.cfg.Perf.CycleUtilization(ph, cluster.Kind, f)
+				if a.pcEpoch != e.perfEpoch || a.executed >= a.pcEnd {
+					e.refreshPerfCache(a)
+				}
+				activity += share * a.pcCu
 			}
 		}
-		e.corePower[c] = e.cfg.Power.Core(cluster.Kind, f, v, activity, temps[c])
+		e.corePower[c] = e.powEval[e.clusterOf[c]].Power(activity, temps[c])
+	}
+	for i := numCores; i < len(e.corePower); i++ {
+		e.corePower[i] = 0
 	}
 	// Uncore power goes to the last thermal node (package).
 	e.corePower[len(e.corePower)-1] += e.cfg.Power.Uncore
@@ -607,11 +697,13 @@ func (e *Engine) integrate(dt float64) {
 }
 
 // readSensor returns the on-board sensor reading: the hottest core
-// temperature plus optional measurement noise.
+// temperature plus optional measurement noise. It reads the post-step
+// temperatures directly from the kernel's buffer.
 func (e *Engine) readSensor() float64 {
-	m := e.cfg.Thermal.Temp(0)
+	temps := e.cfg.Thermal.TempsView()
+	m := temps[0]
 	for c := 1; c < e.cfg.Platform.NumCores(); c++ {
-		if v := e.cfg.Thermal.Temp(c); v > m {
+		if v := temps[c]; v > m {
 			m = v
 		}
 	}
@@ -630,6 +722,7 @@ func (e *Engine) dtmStep() {
 		for ci := range e.dtmCap {
 			if e.dtmCap[ci] > 0 {
 				e.dtmCap[ci]--
+				e.perfEpoch++
 			}
 		}
 	case e.sensorT < e.cfg.DTM.ReleaseC:
@@ -637,6 +730,7 @@ func (e *Engine) dtmStep() {
 		for ci, c := range e.cfg.Platform.Clusters {
 			if e.dtmCap[ci] < c.NumOPPs()-1 {
 				e.dtmCap[ci]++
+				e.perfEpoch++
 			}
 		}
 	}
@@ -683,10 +777,16 @@ func (e *Engine) migrate(id AppID, core platform.CoreID) error {
 		return nil // no-op, no penalty
 	}
 	e.removeFromCore(id, a.core)
+	e.liveCnt[a.core]--
 	a.core = core
+	a.pcEpoch = -1 // cluster kind / frequency changed under the app
 	e.byCore[core] = append(e.byCore[core], id)
+	e.liveCnt[core]++
 	ph := a.job.Spec.PhaseAt(a.executed)
 	a.stallUntil = e.now + e.cfg.PenaltyBase + e.cfg.PenaltyPerMPKI*ph.MPKI
+	if a.stallUntil > e.maxStall[core] {
+		e.maxStall[core] = a.stallUntil
+	}
 	e.mets.migrations++
 	e.tel.migrations.Inc()
 	e.trace.traceMigrate(e, id, int(core))

@@ -32,13 +32,20 @@ func (v *Env) Now() float64 { return v.engine.now }
 // Apps returns a view of all currently running (arrived, unfinished)
 // applications, ordered by ID.
 func (v *Env) Apps() []AppView {
+	return v.AppsInto(nil)
+}
+
+// AppsInto is Apps appending into dst[:0], so a policy that keeps the
+// returned slice between calls stops allocating once it has grown to the
+// peak application count. The views are ordered by ID, as in Apps.
+func (v *Env) AppsInto(dst []AppView) []AppView {
 	e := v.engine
-	out := make([]AppView, 0, len(e.apps))
+	dst = dst[:0]
 	for _, a := range e.apps {
 		if !a.arrived || a.done {
 			continue
 		}
-		out = append(out, AppView{
+		dst = append(dst, AppView{
 			ID:         a.id,
 			Name:       a.job.Spec.Name,
 			QoS:        a.job.QoS,
@@ -48,7 +55,7 @@ func (v *Env) Apps() []AppView {
 			SinceStart: e.now - a.start,
 		})
 	}
-	return out
+	return dst
 }
 
 // NumRunning returns the number of running applications.
@@ -114,6 +121,7 @@ func (v *Env) SetClusterFreqIndex(ci, idx int) {
 	}
 	if v.engine.freqIdx[ci] != idx {
 		v.engine.tel.dvfsChanges.Inc()
+		v.engine.perfEpoch++ // per-app perf caches must re-read the new level
 	}
 	v.engine.freqIdx[ci] = idx
 }

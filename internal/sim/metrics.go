@@ -117,18 +117,13 @@ func (m *collector) sample(e *Engine, dt float64) {
 		m.peakTemp = e.sensorT
 	}
 
+	// powerCnt is this tick's runnable count per core, produced by execute
+	// and shared with integrate — the sampler does not rescan membership.
 	busy := 0
 	for c := range e.byCore {
-		running := 0
-		for _, id := range e.byCore[c] {
-			a := e.apps[id]
-			if !a.done && a.stallUntil < e.now+dt {
-				running++
-			}
-		}
-		if running > 0 {
+		if e.powerCnt[c] > 0 {
 			busy++
-			ci := e.cfg.Platform.ClusterIndexOf(platform.CoreID(c))
+			ci := e.clusterOf[c]
 			m.cpuTime[ci][e.effFreqIdx(ci)] += dt
 		}
 	}
@@ -140,8 +135,7 @@ func (m *collector) sample(e *Engine, dt float64) {
 
 	// Energy: integrate the per-node power of this tick.
 	for c := 0; c < e.cfg.Platform.NumCores(); c++ {
-		ci := e.cfg.Platform.ClusterIndexOf(platform.CoreID(c))
-		m.energyJ[ci] += e.corePower[c] * dt
+		m.energyJ[e.clusterOf[c]] += e.corePower[c] * dt
 	}
 	m.uncoreEnergyJ += e.cfg.Power.Uncore * dt
 }

@@ -23,14 +23,27 @@ type Node struct {
 
 // Network is a lumped RC thermal model. Temperatures are in °C, powers in
 // W, conductances in W/K.
+//
+// Stepping semantics: the network advances by subdivided forward Euler,
+// expressed in matrix form as the affine per-substep update
+// T' = A·T + B·u + c (see propagator.go for the derivation). Step applies
+// a cached, collapsed form of that update; the Kernel selects between the
+// default float64 propagator, a float32 variant, and the naive per-substep
+// Euler reference retained for differential gates.
 type Network struct {
 	Nodes []Node
-	TAmb  float64
+	// TAmb is the ambient temperature in °C. It may be set before the
+	// first Step; afterwards use SetAmbient so the cached propagator is
+	// rebuilt (Step also self-heals on a direct field write, at the cost
+	// of a rebuild).
+	TAmb float64
 
 	g    [][]float64 // symmetric node-to-node conductances
 	gAmb []float64   // node-to-ambient conductances
 	t    []float64   // current temperatures
-	dT   []float64   // Step scratch: per-substep temperature deltas
+
+	kernel Kernel      // integration kernel selected via SetKernel
+	prop   *propagator // cached collapsed update; nil after mutations
 
 	// maxStep is the largest integration step (s) guaranteeing forward-
 	// Euler stability; computed lazily from capacities and conductances.
@@ -55,7 +68,6 @@ func NewNetwork(nodes []Node, tAmb float64) *Network {
 		g:     g,
 		gAmb:  make([]float64, n),
 		t:     t,
-		dT:    make([]float64, n),
 	}
 }
 
@@ -71,6 +83,7 @@ func (n *Network) AddCoupling(i, j int, g float64) {
 	n.g[i][j] += g
 	n.g[j][i] += g
 	n.maxStep = 0
+	n.prop = nil
 }
 
 // SetAmbientCoupling sets the conductance from node i to ambient (W/K).
@@ -81,6 +94,15 @@ func (n *Network) SetAmbientCoupling(i int, g float64) {
 	}
 	n.gAmb[i] = g
 	n.maxStep = 0
+	n.prop = nil
+}
+
+// SetAmbient changes the ambient temperature (°C) and invalidates the
+// cached propagator, whose drive vector bakes in the ambient term. Node
+// temperatures are left untouched.
+func (n *Network) SetAmbient(tAmbC float64) {
+	n.TAmb = tAmbC
+	n.prop = nil
 }
 
 // panicMsg keeps panic's interface conversion out of the //hot callers:
@@ -123,10 +145,38 @@ func (n *Network) stableStep() float64 {
 	return best
 }
 
+// Substeps returns the number of forward-Euler substeps Step subdivides dt
+// into: ceil(dt / stableStep), where a dt that is an exact multiple of the
+// stability step uses exactly dt/stableStep substeps (no spurious extra
+// subdivision). It panics on a non-positive dt.
+func (n *Network) Substeps(dt float64) int {
+	if dt <= 0 {
+		panicMsg("thermal: non-positive dt")
+	}
+	return substepsFor(dt, n.stableStep())
+}
+
+// substepsFor is the substep-count rule shared by the kernels: the
+// smallest k with dt/k ≤ h. The truncate-then-check form makes exact
+// multiples of h (dt = k·h) use exactly k substeps instead of k+1.
+func substepsFor(dt, h float64) int {
+	steps := int(dt / h)
+	if float64(steps)*h < dt {
+		steps++ // fractional ratio: round up to stay under the limit
+	}
+	if steps < 1 {
+		steps = 1
+	}
+	return steps
+}
+
 // Step advances the network by dt seconds with the given per-node power
-// injection (W). It subdivides dt internally to stay within the explicit
-// integration stability limit. It panics on a power vector of the wrong
-// length or a non-positive dt.
+// injection (W), held constant over the tick. It subdivides dt internally
+// to stay within the explicit integration stability limit and applies the
+// substeps through the cached propagator of the selected kernel (see
+// propagator.go); the cache rebuilds automatically after coupling,
+// ambient, kernel, or dt changes. It panics on a power vector of the
+// wrong length or a non-positive dt.
 //
 //hot:per-simulation-tick
 func (n *Network) Step(power []float64, dt float64) {
@@ -136,26 +186,19 @@ func (n *Network) Step(power []float64, dt float64) {
 	if dt <= 0 {
 		panicMsg("thermal: non-positive dt")
 	}
-	h := n.stableStep()
-	steps := int(dt/h) + 1
-	h = dt / float64(steps)
-	// The delta buffer is engine-hot-loop state: Step runs once per
-	// simulation tick, so it must not allocate.
-	dT := n.dT
-	for s := 0; s < steps; s++ {
-		for i := range n.Nodes {
-			q := power[i] + n.gAmb[i]*(n.TAmb-n.t[i])
-			for j := range n.Nodes {
-				if gij := n.g[i][j]; gij != 0 {
-					q += gij * (n.t[j] - n.t[i])
-				}
-			}
-			dT[i] = q / n.Nodes[i].Cap * h
-		}
-		for i := range n.t {
-			n.t[i] += dT[i]
-		}
+	if n.kernel == KernelReference {
+		n.stepReference(power, dt)
+		return
 	}
+	pr := n.prop
+	if pr == nil || pr.dt != dt || pr.tAmb != n.TAmb {
+		pr = n.buildPropagator(dt) // cold path: mutation or new dt
+	}
+	if n.kernel == KernelFloat32 {
+		pr.step32(n.t, power)
+		return
+	}
+	pr.step(n.t, power)
 }
 
 // Temps returns a copy of the current node temperatures in °C. Hot paths
@@ -172,6 +215,13 @@ func (n *Network) TempsInto(dst []float64) {
 	}
 	copy(dst, n.t)
 }
+
+// TempsView returns the live node-temperature slice in °C without copying.
+// The slice aliases network state: callers must treat it as read-only and
+// must not retain it across mutations of the network from other
+// goroutines. It exists for the per-tick fused power→thermal→sensor path,
+// where even a 9-element copy per tick is measurable.
+func (n *Network) TempsView() []float64 { return n.t }
 
 // Temp returns the temperature of node i.
 func (n *Network) Temp(i int) float64 { return n.t[i] }

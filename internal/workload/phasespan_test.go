@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPhaseSpanAtConsistent checks the PhaseSpanAt contract the engine's
+// perf cache relies on: the returned phase equals PhaseAt(executed), and
+// for every executed' inside [executed, end) PhaseAt still returns that
+// same phase — including executed' values crawling right up to the bound.
+func TestPhaseSpanAtConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, spec := range catalog {
+		name := spec.Name
+		for trial := 0; trial < 400; trial++ {
+			executed := rng.Float64() * 3 * spec.TotalInstr
+			ph, end := spec.PhaseSpanAt(executed)
+			if got := spec.PhaseAt(executed); got != ph {
+				t.Fatalf("%s executed=%v: PhaseSpanAt phase %+v != PhaseAt %+v",
+					name, executed, ph, got)
+			}
+			if math.IsInf(end, 1) {
+				if len(spec.Phases) != 1 {
+					t.Fatalf("%s: infinite span on a %d-phase spec", name, len(spec.Phases))
+				}
+				continue
+			}
+			if end < executed {
+				t.Fatalf("%s executed=%v: span end %v before start", name, executed, end)
+			}
+			for _, frac := range []float64{0, 0.25, 0.5, 0.9, 0.999, 0.999999} {
+				x := executed + frac*(end-executed)
+				if x >= end {
+					continue
+				}
+				if got := spec.PhaseAt(x); got != ph {
+					t.Fatalf("%s executed=%v x=%v (end %v): phase changed inside span",
+						name, executed, x, end)
+				}
+			}
+		}
+	}
+}

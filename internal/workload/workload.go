@@ -14,6 +14,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -58,6 +59,43 @@ func (s AppSpec) PhaseAt(executed float64) Phase {
 		pos -= p.Instr
 	}
 	return s.Phases[len(s.Phases)-1]
+}
+
+// PhaseSpanAt returns PhaseAt(executed) together with a conservative span
+// bound: for every executed' in [executed, end), PhaseAt(executed') returns
+// the same phase. The bound lets per-tick callers cache phase-derived
+// quantities and refresh only on (or slightly before) a phase boundary; it
+// deliberately undershoots the true boundary by a margin that dominates the
+// float rounding in PhaseAt's cyclic position arithmetic, so a cache keyed
+// on it can never serve a stale phase — early refreshes re-query the ground
+// truth and are merely redundant.
+func (s AppSpec) PhaseSpanAt(executed float64) (Phase, float64) {
+	if len(s.Phases) == 1 {
+		return s.Phases[0], math.Inf(1)
+	}
+	var cycle float64
+	for _, p := range s.Phases {
+		cycle += p.Instr
+	}
+	pos := executed
+	if cycle > 0 {
+		n := int(pos / cycle)
+		pos -= float64(n) * cycle
+	}
+	for _, p := range s.Phases {
+		if pos < p.Instr {
+			// The margin is far above the few-ulp error of recomputing the
+			// cyclic position at a later `executed`, and far below the
+			// billions-of-instructions phase lengths of real specs.
+			end := executed + (p.Instr - pos) - (1 + 1e-9*math.Abs(executed))
+			if end < executed {
+				end = executed // degenerate short phase: refresh every call
+			}
+			return p, end
+		}
+		pos -= p.Instr
+	}
+	return s.Phases[len(s.Phases)-1], executed
 }
 
 // HasPhases reports whether the application exhibits phase behaviour.

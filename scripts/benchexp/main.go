@@ -9,6 +9,7 @@ package main
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"runtime"
@@ -18,9 +19,14 @@ import (
 )
 
 type benchResult struct {
-	Name       string  `json:"name"`
-	Cells      int     `json:"cells"`
-	Workers    int     `json:"workers"`
+	Name    string `json:"name"`
+	Cells   int    `json:"cells"`
+	Workers int    `json:"workers"`
+	// NumCPU and GoMaxProcs are recorded per entry, not just per file:
+	// entries regenerated on different hosts (or with different GOMAXPROCS)
+	// can coexist in one artifact and still be interpretable individually.
+	NumCPU     int     `json:"num_cpu"`
+	GoMaxProcs int     `json:"go_max_procs"`
 	SeqSeconds float64 `json:"seq_seconds"`
 	ParSeconds float64 `json:"par_seconds"`
 	Speedup    float64 `json:"speedup"`
@@ -32,6 +38,60 @@ type benchFile struct {
 	GoMaxProcs int           `json:"go_max_procs"`
 	Scale      string        `json:"scale"`
 	Benches    []benchResult `json:"benches"`
+}
+
+// validate enforces the artifact schema the verify flow (scripts/check.sh)
+// gates on: host parallelism recorded per entry, a plausible measurement in
+// every field, and byte-identical sequential/parallel reports.
+func validate(f benchFile) error {
+	if f.NumCPU < 1 || f.GoMaxProcs < 1 {
+		return fmt.Errorf("file-level num_cpu/go_max_procs missing (%d/%d)", f.NumCPU, f.GoMaxProcs)
+	}
+	if f.Scale == "" {
+		return fmt.Errorf("scale description missing")
+	}
+	if len(f.Benches) == 0 {
+		return fmt.Errorf("no bench entries")
+	}
+	for _, b := range f.Benches {
+		if b.Name == "" {
+			return fmt.Errorf("bench entry with empty name")
+		}
+		if b.Cells <= 0 {
+			return fmt.Errorf("%s: non-positive cell count %d", b.Name, b.Cells)
+		}
+		if b.Workers < 1 {
+			return fmt.Errorf("%s: worker count %d", b.Name, b.Workers)
+		}
+		if b.NumCPU < 1 || b.GoMaxProcs < 1 {
+			return fmt.Errorf("%s: per-entry num_cpu/go_max_procs missing (%d/%d)",
+				b.Name, b.NumCPU, b.GoMaxProcs)
+		}
+		if b.SeqSeconds <= 0 || b.ParSeconds <= 0 || b.Speedup <= 0 {
+			return fmt.Errorf("%s: non-positive timings (seq %g, par %g, speedup %g)",
+				b.Name, b.SeqSeconds, b.ParSeconds, b.Speedup)
+		}
+		if !b.Identical {
+			return fmt.Errorf("%s: sequential and parallel outputs differed", b.Name)
+		}
+	}
+	return nil
+}
+
+// checkFile validates an existing artifact without running any benchmark.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := validate(f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
 }
 
 // benchScale shrinks the quick scale further so the bench finishes in tens
@@ -68,10 +128,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchexp: ")
 	var (
-		out     = flag.String("out", "BENCH_experiments.json", "output path")
-		workers = flag.Int("j", 0, "parallel worker count (0 = GOMAXPROCS)")
+		out         = flag.String("out", "BENCH_experiments.json", "output path")
+		workers     = flag.Int("j", 0, "parallel worker count (0 = GOMAXPROCS)")
+		forceSerial = flag.Bool("force-serial", false,
+			"allow a GOMAXPROCS=1 run on a multi-core host (speedup will read ~1.0x)")
+		check = flag.String("check", "", "validate an existing bench file's schema and exit")
 	)
 	flag.Parse()
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%s: schema OK", *check)
+		return
+	}
+	if runtime.NumCPU() > 1 && runtime.GOMAXPROCS(0) == 1 && !*forceSerial {
+		log.Fatalf("GOMAXPROCS=1 on a %d-CPU host: the parallel measurement would be "+
+			"meaningless; unset GOMAXPROCS or pass -force-serial to record a serial run",
+			runtime.NumCPU())
+	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
@@ -136,6 +211,7 @@ func main() {
 		}
 		file.Benches = append(file.Benches, benchResult{
 			Name: fig.name, Cells: cells, Workers: *workers,
+			NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
 			SeqSeconds: seqSeconds, ParSeconds: parSeconds,
 			Speedup: speedup, Identical: identical,
 		})
@@ -143,6 +219,9 @@ func main() {
 			fig.name, cells, seqSeconds, parSeconds, *workers, speedup)
 	}
 
+	if err := validate(file); err != nil {
+		log.Fatalf("refusing to write invalid artifact: %v", err)
+	}
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		log.Fatal(err)

@@ -217,6 +217,23 @@ echo "== go test -race -short (experiments)"
 go test -race -short ./internal/experiments/...
 echo "== coverage gate"
 ./scripts/coverage_gate.sh
+echo "== bench artifact schema (BENCH_experiments.json)"
+# The committed speedup artifact must carry per-entry host parallelism
+# (num_cpu/go_max_procs/workers) and identical sequential/parallel output —
+# the contract `make bench` regenerates under. See scripts/benchexp.
+go run ./scripts/benchexp -check BENCH_experiments.json
+echo "== hot-path allocation gate (0 allocs/op)"
+# The //hot annotations are gated statically by topil-lint's hotalloc pass;
+# this is the dynamic counterpart on the two per-tick kernels, so an
+# allocation that sneaks past escape-analysis reasoning still fails here.
+for spec in "./internal/thermal BenchmarkNetworkStep" ". BenchmarkEngineTick"; do
+    pkg=${spec% *}; bench=${spec#* }
+    line=$(go test -run '^$' -bench "^${bench}\$" -benchmem -benchtime 200x "$pkg" \
+        | grep "^${bench}") || { echo "alloc gate: $bench did not run"; exit 1; }
+    allocs=$(printf '%s\n' "$line" | awk '{print $(NF-1)}')
+    [ "$allocs" = "0" ] || { echo "alloc gate: $bench allocates: $line"; exit 1; }
+    echo "$bench: 0 allocs/op"
+done
 echo "== topil-experiments trace determinism (-j 1 vs -j 8)"
 # Sim-time traces must be byte-identical regardless of worker count: the
 # spans carry simulated timestamps and the writer orders tracers by name,
