@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race cover fuzz serve-smoke cluster-smoke bench bench-serve
+.PHONY: check build vet lint test race cover fuzz conformance serve-smoke cluster-smoke bench bench-serve
 
 check: build vet lint test race cover
 
@@ -30,7 +30,8 @@ test:
 # oracle+training pipeline; its artifact and concurrency tests still run.
 race:
 	$(GO) test -race ./internal/serve/... ./internal/cluster/... ./internal/npu/... \
-		./internal/nn/... ./internal/workload/... ./internal/sim/... ./internal/telemetry/...
+		./internal/nn/... ./internal/workload/... ./internal/sim/... ./internal/telemetry/... \
+		./internal/conformance/...
 	$(GO) test -race -short ./internal/experiments/...
 
 # Coverage gate: statement coverage of the serving, simulation, telemetry
@@ -45,6 +46,13 @@ fuzz:
 	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzEngineChaos$$' -fuzztime=10s
 	$(GO) test ./internal/workload -run '^$$' -fuzz '^FuzzJobEntries$$' -fuzztime=10s
 	$(GO) test ./internal/cluster -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime=10s
+	$(GO) test ./internal/conformance -run '^$$' -fuzz '^FuzzPackageManifest$$' -fuzztime=10s
+
+# Policy-result regression gate: run the committed conformance packages
+# (golden metric envelopes + /v1 schemas, docs/CONFORMANCE.md) offline at
+# -j1 and -j8 — the reports must be byte-identical at any worker count.
+conformance:
+	./scripts/check.sh conformance
 
 # Quick end-to-end: build the service and exercise one infer round trip.
 serve-smoke:

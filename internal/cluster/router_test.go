@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/conformance"
 	"repro/internal/serve"
 )
 
@@ -384,16 +385,27 @@ func TestRouterClusterTopology(t *testing.T) {
 	rt, ts := newTestRouter(t, a, b)
 	waitPolled(t, rt)
 
-	var topo struct {
-		Replicas []ReplicaStatus `json:"replicas"`
-		Vnodes   int             `json:"vnodes"`
-	}
 	resp, err := http.Get(ts.URL + "/v1/cluster")
 	if err != nil {
 		t.Fatal(err)
 	}
-	json.NewDecoder(resp.Body).Decode(&topo)
+	raw, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The topology response is part of the conformance-pinned /v1 wire
+	// contract: validate the raw bytes before decoding them.
+	if errs := conformance.MustSchema("cluster").Validate(raw); len(errs) > 0 {
+		t.Fatalf("/v1/cluster violates its wire schema: %v\n%s", errs, raw)
+	}
+	var topo struct {
+		Replicas []ReplicaStatus `json:"replicas"`
+		Vnodes   int             `json:"vnodes"`
+	}
+	if err := json.Unmarshal(raw, &topo); err != nil {
+		t.Fatal(err)
+	}
 	if len(topo.Replicas) != 2 || topo.Vnodes != DefaultVnodes {
 		t.Fatalf("topology = %+v", topo)
 	}

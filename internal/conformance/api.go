@@ -1,0 +1,402 @@
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/features"
+)
+
+// defaultInputDim is the feature width of the paper platform (8 cores in
+// 2 clusters), used when APIConfig.InputDim is unset.
+func defaultInputDim() int { return features.Dim(8, 2) }
+
+// APIConfig points the wire-contract checks at a live serve instance.
+type APIConfig struct {
+	// BaseURL is the instance root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Model names a registry model used by the infer check; empty skips
+	// inference checks.
+	Model string
+	// InputDim is the model's feature-vector width (the platform default
+	// when zero).
+	InputDim int
+	// Dedicated marks an instance owned by this run. Destructive checks
+	// (backpressure flooding) only run against dedicated instances —
+	// their applicability boundary excludes shared deployments.
+	Dedicated bool
+	// Client overrides the HTTP client (default: 30 s timeout).
+	Client *http.Client
+}
+
+func (c APIConfig) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// APIResult is the outcome of one wire-contract check.
+type APIResult struct {
+	Check   string `json:"check"`
+	OK      bool   `json:"ok"`
+	Skipped bool   `json:"skipped,omitempty"`
+	Detail  string `json:"detail"`
+}
+
+// apiCheck is one named wire-contract probe. It returns a human detail on
+// success; skipped marks checks whose applicability boundary excludes this
+// configuration (see docs/CONFORMANCE.md).
+type apiCheck struct {
+	name string
+	run  func(ctx context.Context, cfg APIConfig) (detail string, skipped bool, err error)
+}
+
+// apiChecks is the ordered check table. Order is fixed so reports are
+// deterministic.
+var apiChecks = []apiCheck{
+	{"healthz", checkHealthz},
+	{"models", checkModels},
+	{"infer", checkInfer},
+	{"sim", checkSim},
+	{"jobs", checkJobs},
+	{"stats", checkStats},
+	{"notFound", checkNotFound},
+	{"backpressure", checkBackpressure},
+}
+
+// APICheckNames lists every wire-contract check, in execution order.
+func APICheckNames() []string {
+	names := make([]string, len(apiChecks))
+	for i, c := range apiChecks {
+		names[i] = c.name
+	}
+	return names
+}
+
+func apiCheckKnown(name string) bool {
+	for _, c := range apiChecks {
+		if c.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAPIChecks executes the named checks (all of them when names is empty)
+// against the configured instance, in table order regardless of the input
+// order, and returns one result per check.
+func RunAPIChecks(ctx context.Context, cfg APIConfig, names []string) []APIResult {
+	want := toSet(names)
+	var out []APIResult
+	for _, c := range apiChecks {
+		if len(names) > 0 && !want[c.name] {
+			continue
+		}
+		detail, skipped, err := c.run(ctx, cfg)
+		r := APIResult{Check: c.name, OK: err == nil, Skipped: skipped, Detail: detail}
+		if err != nil {
+			r.Detail = err.Error()
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// getChecked GETs a path, requiring the status and validating the body
+// against the named wire schema.
+func getChecked(ctx context.Context, cfg APIConfig, path string, wantStatus int, schema string) ([]byte, *http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+path, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return doChecked(cfg, req, path, wantStatus, schema)
+}
+
+// postChecked POSTs a JSON body, requiring the status and validating the
+// response against the named wire schema.
+func postChecked(ctx context.Context, cfg APIConfig, path string, body interface{}, wantStatus int, schema string) ([]byte, *http.Response, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doChecked(cfg, req, path, wantStatus, schema)
+}
+
+func doChecked(cfg APIConfig, req *http.Request, path string, wantStatus int, schema string) ([]byte, *http.Response, error) {
+	resp, err := cfg.client().Do(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s %s: %w", req.Method, path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, resp, fmt.Errorf("%s %s: reading body: %w", req.Method, path, err)
+	}
+	if resp.StatusCode != wantStatus {
+		return body, resp, fmt.Errorf("%s %s: status %d, want %d (body %.200s)",
+			req.Method, path, resp.StatusCode, wantStatus, body)
+	}
+	if err := validateWire(schema, body); err != nil {
+		return body, resp, fmt.Errorf("%s %s: %w", req.Method, path, err)
+	}
+	return body, resp, nil
+}
+
+// validateWire checks bytes against a named wire schema, folding every
+// violation into one error.
+func validateWire(schema string, body []byte) error {
+	s, err := SchemaFor(schema)
+	if err != nil {
+		return err
+	}
+	errs := s.Validate(body)
+	if len(errs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(errs))
+	for i, e := range errs {
+		msgs[i] = e.Error()
+	}
+	sort.Strings(msgs)
+	return fmt.Errorf("schema %q: %s", schema, strings.Join(msgs, "; "))
+}
+
+// --- individual checks ---
+
+func checkHealthz(ctx context.Context, cfg APIConfig) (string, bool, error) {
+	body, _, err := getChecked(ctx, cfg, "/v1/healthz", http.StatusOK, "healthz")
+	if err != nil {
+		return "", false, err
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		return "", false, err
+	}
+	return "status " + h.Status, false, nil
+}
+
+func checkModels(ctx context.Context, cfg APIConfig) (string, bool, error) {
+	body, _, err := getChecked(ctx, cfg, "/v1/models", http.StatusOK, "models")
+	if err != nil {
+		return "", false, err
+	}
+	var m struct {
+		Models []string `json:"models"`
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		return "", false, err
+	}
+	if cfg.Model != "" {
+		found := false
+		for _, name := range m.Models {
+			if name == cfg.Model {
+				found = true
+			}
+		}
+		if !found {
+			return "", false, fmt.Errorf("model %q not in registry listing %v", cfg.Model, m.Models)
+		}
+	}
+	return fmt.Sprintf("%d model(s)", len(m.Models)), false, nil
+}
+
+func checkInfer(ctx context.Context, cfg APIConfig) (string, bool, error) {
+	if cfg.Model == "" {
+		return "no model configured", true, nil
+	}
+	dim := cfg.InputDim
+	if dim <= 0 {
+		dim = defaultInputDim()
+	}
+	reqBody := map[string]interface{}{
+		"model":  cfg.Model,
+		"inputs": [][]float64{make([]float64, dim), make([]float64, dim)},
+	}
+	body, _, err := postChecked(ctx, cfg, "/v1/infer", reqBody, http.StatusOK, "infer")
+	if err != nil {
+		return "", false, err
+	}
+	var resp struct {
+		Outputs [][]float64 `json:"outputs"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return "", false, err
+	}
+	if len(resp.Outputs) != 2 {
+		return "", false, fmt.Errorf("2 input rows produced %d output rows", len(resp.Outputs))
+	}
+	return "2 rows inferred", false, nil
+}
+
+// simRequest is the quick deterministic job the sim/jobs/backpressure
+// checks submit: a governor policy, so no model artifact is required.
+func simRequest(duration float64) map[string]interface{} {
+	return map[string]interface{}{
+		"policy":     "GTS/ondemand",
+		"duration":   duration,
+		"numJobs":    2,
+		"rate":       2,
+		"instrScale": 0.02,
+	}
+}
+
+// floodRequest is the backpressure payload: many long applications, so the
+// simulated run keeps a worker busy for seconds of wall time (a light job
+// list would finish at e.Done almost instantly and the queue would never
+// fill).
+func floodRequest() map[string]interface{} {
+	return map[string]interface{}{
+		"policy":     "GTS/ondemand",
+		"duration":   3600,
+		"numJobs":    32,
+		"rate":       10,
+		"instrScale": 10,
+	}
+}
+
+func checkSim(ctx context.Context, cfg APIConfig) (string, bool, error) {
+	body, resp, err := postChecked(ctx, cfg, "/v1/sim", simRequest(2), http.StatusAccepted, "job")
+	if err != nil {
+		return "", false, err
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/v1/jobs/") {
+		return "", false, fmt.Errorf("202 Location %q does not point at /v1/jobs/", loc)
+	}
+	var snap struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return "", false, err
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		body, _, err := getChecked(ctx, cfg, "/v1/jobs/"+snap.ID, http.StatusOK, "job")
+		if err != nil {
+			return "", false, err
+		}
+		var cur struct {
+			State  string          `json:"state"`
+			Error  string          `json:"error"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(body, &cur); err != nil {
+			return "", false, err
+		}
+		switch cur.State {
+		case "done":
+			if len(cur.Result) == 0 {
+				return "", false, fmt.Errorf("job %s done without a result", snap.ID)
+			}
+			return "job " + snap.ID + " done", false, nil
+		case "failed", "canceled":
+			return "", false, fmt.Errorf("job %s ended %s: %s", snap.ID, cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			return "", false, fmt.Errorf("job %s still %s after 60s", snap.ID, cur.State)
+		}
+		select {
+		case <-ctx.Done():
+			return "", false, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func checkJobs(ctx context.Context, cfg APIConfig) (string, bool, error) {
+	body, _, err := getChecked(ctx, cfg, "/v1/jobs", http.StatusOK, "jobs")
+	if err != nil {
+		return "", false, err
+	}
+	var resp struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return "", false, err
+	}
+	return fmt.Sprintf("%d job(s) listed", len(resp.Jobs)), false, nil
+}
+
+func checkStats(ctx context.Context, cfg APIConfig) (string, bool, error) {
+	_, _, err := getChecked(ctx, cfg, "/v1/stats", http.StatusOK, "stats")
+	if err != nil {
+		return "", false, err
+	}
+	return "stats shape ok", false, nil
+}
+
+func checkNotFound(ctx context.Context, cfg APIConfig) (string, bool, error) {
+	_, _, err := getChecked(ctx, cfg, "/v1/jobs/conformance-no-such-job",
+		http.StatusNotFound, "error")
+	if err != nil {
+		return "", false, err
+	}
+	return "404 body conforms", false, nil
+}
+
+// checkBackpressure floods POST /v1/sim with long jobs until the instance
+// sheds with 429, then validates the error body and Retry-After header and
+// cancels everything it submitted. Applicability boundary: dedicated
+// instances only — flooding a shared deployment would shed real traffic.
+func checkBackpressure(ctx context.Context, cfg APIConfig) (string, bool, error) {
+	if !cfg.Dedicated {
+		return "requires a dedicated instance (would shed real traffic)", true, nil
+	}
+	var accepted []string
+	defer func() {
+		for _, id := range accepted {
+			req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+				cfg.BaseURL+"/v1/jobs/"+id, nil)
+			if err != nil {
+				continue
+			}
+			if resp, err := cfg.client().Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body) //nolint — drain for reuse
+				resp.Body.Close()
+			}
+		}
+	}()
+	for attempt := 0; attempt < 64; attempt++ {
+		body, resp, err := postChecked(ctx, cfg, "/v1/sim", floodRequest(),
+			http.StatusAccepted, "job")
+		if resp != nil && resp.StatusCode == http.StatusTooManyRequests {
+			if err := validateWire("error", body); err != nil {
+				return "", false, fmt.Errorf("429 body: %w", err)
+			}
+			ra := resp.Header.Get("Retry-After")
+			secs, convErr := strconv.Atoi(ra)
+			if convErr != nil || secs < 1 {
+				return "", false, fmt.Errorf("429 Retry-After %q is not a positive integer", ra)
+			}
+			return fmt.Sprintf("shed after %d accepted job(s), Retry-After %ds",
+				len(accepted), secs), false, nil
+		}
+		if err != nil {
+			return "", false, err
+		}
+		var snap struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &snap); err != nil {
+			return "", false, err
+		}
+		accepted = append(accepted, snap.ID)
+	}
+	return "", false, fmt.Errorf("no 429 after 64 long submissions — queue bound not enforced?")
+}

@@ -1,0 +1,360 @@
+// Package conformance implements the repository's packaged
+// conformance-and-regression pipeline: declarative test packages — a
+// versioned manifest naming scenarios (app mix, technique, backend, fan
+// mode), JSON Schemas pinning every /v1 response shape, and golden metric
+// envelopes (peak temperature, QoS violations, energy within explicit
+// tolerance bands per technique × backend) — plus a runner that executes
+// packages against any policy on any backend and emits a deterministic
+// pass/fail report. cmd/topil-validate drives it via the -packages flag;
+// `make conformance` is the regression gate. See docs/CONFORMANCE.md.
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Schema is a compiled JSON Schema (a deliberately small subset — see
+// CompileSchema). It validates values decoded by encoding/json into
+// interface{} trees: map[string]interface{}, []interface{}, string,
+// float64, bool, nil.
+type Schema struct {
+	root map[string]interface{} // the whole document, for local $ref
+	node map[string]interface{} // this schema's own object
+}
+
+// CompileSchema parses a schema document. The supported subset is what the
+// /v1 wire contract needs:
+//
+//	type (string or list), required, properties,
+//	additionalProperties (bool or schema), items, enum, const,
+//	minimum, maximum, $ref (local "#/..." pointers only), $defs
+//
+// Unsupported keywords are rejected at compile time rather than silently
+// ignored, so a schema cannot appear stricter than it is.
+func CompileSchema(data []byte) (*Schema, error) {
+	var doc map[string]interface{}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("conformance: schema: %w", err)
+	}
+	s := &Schema{root: doc, node: doc}
+	if err := s.check(doc, "#"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// supportedKeywords is the compile-time allowlist. "description" is
+// documentation and ignored at validation time.
+var supportedKeywords = map[string]bool{
+	"type": true, "required": true, "properties": true,
+	"additionalProperties": true, "items": true, "enum": true,
+	"const": true, "minimum": true, "maximum": true,
+	"$ref": true, "$defs": true, "description": true,
+}
+
+// check walks a schema object rejecting unsupported keywords and dangling
+// local references.
+func (s *Schema) check(node map[string]interface{}, path string) error {
+	for k, v := range node {
+		if !supportedKeywords[k] {
+			return fmt.Errorf("conformance: schema %s: unsupported keyword %q", path, k)
+		}
+		switch k {
+		case "$ref":
+			ref, ok := v.(string)
+			if !ok || !strings.HasPrefix(ref, "#/") {
+				return fmt.Errorf("conformance: schema %s: $ref must be a local \"#/\" pointer", path)
+			}
+			if _, err := s.resolve(ref); err != nil {
+				return fmt.Errorf("conformance: schema %s: %w", path, err)
+			}
+		case "properties", "$defs":
+			m, ok := v.(map[string]interface{})
+			if !ok {
+				return fmt.Errorf("conformance: schema %s: %s must be an object", path, k)
+			}
+			for name, sub := range m {
+				subm, ok := sub.(map[string]interface{})
+				if !ok {
+					return fmt.Errorf("conformance: schema %s/%s/%s: not an object", path, k, name)
+				}
+				if err := s.check(subm, path+"/"+k+"/"+name); err != nil {
+					return err
+				}
+			}
+		case "items":
+			m, ok := v.(map[string]interface{})
+			if !ok {
+				return fmt.Errorf("conformance: schema %s: items must be an object", path)
+			}
+			if err := s.check(m, path+"/items"); err != nil {
+				return err
+			}
+		case "additionalProperties":
+			switch ap := v.(type) {
+			case bool:
+			case map[string]interface{}:
+				if err := s.check(ap, path+"/additionalProperties"); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("conformance: schema %s: additionalProperties must be a bool or schema", path)
+			}
+		}
+	}
+	return nil
+}
+
+// resolve follows a local "#/a/b" pointer inside the root document.
+func (s *Schema) resolve(ref string) (map[string]interface{}, error) {
+	cur := interface{}(s.root)
+	for _, part := range strings.Split(strings.TrimPrefix(ref, "#/"), "/") {
+		m, ok := cur.(map[string]interface{})
+		if !ok {
+			return nil, fmt.Errorf("bad $ref %q", ref)
+		}
+		cur, ok = m[part]
+		if !ok {
+			return nil, fmt.Errorf("dangling $ref %q", ref)
+		}
+	}
+	m, ok := cur.(map[string]interface{})
+	if !ok {
+		return nil, fmt.Errorf("$ref %q does not point at a schema object", ref)
+	}
+	return m, nil
+}
+
+// Validate checks raw JSON bytes against the schema and returns every
+// violation, each prefixed with a JSON path like $.jobs[0].state. A nil
+// slice means the document conforms.
+func (s *Schema) Validate(data []byte) []error {
+	var v interface{}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	if err := dec.Decode(&v); err != nil {
+		return []error{fmt.Errorf("$: not valid JSON: %w", err)}
+	}
+	return s.ValidateValue(v)
+}
+
+// ValidateValue checks an already-decoded JSON value (json.Number for
+// numbers when decoded with UseNumber; plain float64 also accepted).
+func (s *Schema) ValidateValue(v interface{}) []error {
+	var errs []error
+	s.validate(s.node, v, "$", &errs)
+	return errs
+}
+
+func (s *Schema) validate(node map[string]interface{}, v interface{}, path string, errs *[]error) {
+	if ref, ok := node["$ref"].(string); ok {
+		target, err := s.resolve(ref)
+		if err != nil { // unreachable after CompileSchema, kept for safety
+			*errs = append(*errs, fmt.Errorf("%s: %v", path, err))
+			return
+		}
+		s.validate(target, v, path, errs)
+		return
+	}
+	if want, ok := node["type"]; ok && !typeMatches(want, v) {
+		*errs = append(*errs, fmt.Errorf("%s: is %s, want %v", path, typeName(v), typeList(want)))
+		return
+	}
+	if enum, ok := node["enum"].([]interface{}); ok {
+		found := false
+		for _, e := range enum {
+			if jsonEqual(e, v) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			*errs = append(*errs, fmt.Errorf("%s: %v not in enum %v", path, jsonText(v), jsonText(enum)))
+		}
+	}
+	if c, ok := node["const"]; ok && !jsonEqual(c, v) {
+		*errs = append(*errs, fmt.Errorf("%s: %v != const %v", path, jsonText(v), jsonText(c)))
+	}
+	if n, ok := asFloat(v); ok {
+		if min, have := asFloat(node["minimum"]); have && n < min {
+			*errs = append(*errs, fmt.Errorf("%s: %g below minimum %g", path, n, min))
+		}
+		if max, have := asFloat(node["maximum"]); have && n > max {
+			*errs = append(*errs, fmt.Errorf("%s: %g above maximum %g", path, n, max))
+		}
+	}
+	switch val := v.(type) {
+	case map[string]interface{}:
+		props, _ := node["properties"].(map[string]interface{})
+		if req, ok := node["required"].([]interface{}); ok {
+			for _, r := range req {
+				name, _ := r.(string)
+				if _, present := val[name]; !present {
+					*errs = append(*errs, fmt.Errorf("%s: missing required property %q", path, name))
+				}
+			}
+		}
+		// Deterministic error order: walk properties sorted by name.
+		names := make([]string, 0, len(val))
+		for name := range val {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			sub, known := props[name]
+			if known {
+				s.validate(sub.(map[string]interface{}), val[name], path+"."+name, errs)
+				continue
+			}
+			switch ap := node["additionalProperties"].(type) {
+			case bool:
+				if !ap {
+					*errs = append(*errs, fmt.Errorf("%s: unexpected property %q", path, name))
+				}
+			case map[string]interface{}:
+				s.validate(ap, val[name], path+"."+name, errs)
+			}
+		}
+	case []interface{}:
+		if items, ok := node["items"].(map[string]interface{}); ok {
+			for i, elem := range val {
+				s.validate(items, elem, fmt.Sprintf("%s[%d]", path, i), errs)
+			}
+		}
+	}
+}
+
+// typeMatches implements the JSON Schema "type" keyword, including the
+// integer/number distinction.
+func typeMatches(want interface{}, v interface{}) bool {
+	switch w := want.(type) {
+	case string:
+		return typeIs(w, v)
+	case []interface{}:
+		for _, t := range w {
+			if name, ok := t.(string); ok && typeIs(name, v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func typeIs(name string, v interface{}) bool {
+	switch name {
+	case "object":
+		_, ok := v.(map[string]interface{})
+		return ok
+	case "array":
+		_, ok := v.([]interface{})
+		return ok
+	case "string":
+		_, ok := v.(string)
+		return ok
+	case "boolean":
+		_, ok := v.(bool)
+		return ok
+	case "null":
+		return v == nil
+	case "number":
+		_, ok := asFloat(v)
+		return ok
+	case "integer":
+		n, ok := asFloat(v)
+		return ok && n == math.Trunc(n) && !math.IsInf(n, 0)
+	}
+	return false
+}
+
+func typeName(v interface{}) string {
+	switch v.(type) {
+	case map[string]interface{}:
+		return "object"
+	case []interface{}:
+		return "array"
+	case string:
+		return "string"
+	case bool:
+		return "boolean"
+	case nil:
+		return "null"
+	case json.Number, float64:
+		return "number"
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+func typeList(want interface{}) interface{} {
+	return want
+}
+
+// asFloat widens json.Number / float64 / int into a float64.
+func asFloat(v interface{}) (float64, bool) {
+	switch n := v.(type) {
+	case json.Number:
+		f, err := n.Float64()
+		return f, err == nil
+	case float64:
+		return n, true
+	case int:
+		return float64(n), true
+	}
+	return 0, false
+}
+
+// jsonEqual compares two decoded JSON values, treating numerically equal
+// numbers as equal regardless of representation.
+func jsonEqual(a, b interface{}) bool {
+	if fa, ok := asFloat(a); ok {
+		fb, ok := asFloat(b)
+		return ok && fa == fb
+	}
+	switch av := a.(type) {
+	case string:
+		bv, ok := b.(string)
+		return ok && av == bv
+	case bool:
+		bv, ok := b.(bool)
+		return ok && av == bv
+	case nil:
+		return b == nil
+	case []interface{}:
+		bv, ok := b.([]interface{})
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if !jsonEqual(av[i], bv[i]) {
+				return false
+			}
+		}
+		return true
+	case map[string]interface{}:
+		bv, ok := b.(map[string]interface{})
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for k := range av {
+			if !jsonEqual(av[k], bv[k]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// jsonText renders a decoded value compactly for error messages.
+func jsonText(v interface{}) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	return string(b)
+}

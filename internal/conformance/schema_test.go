@@ -1,0 +1,149 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustCompile(t *testing.T, src string) *Schema {
+	t.Helper()
+	s, err := CompileSchema([]byte(src))
+	if err != nil {
+		t.Fatalf("CompileSchema: %v", err)
+	}
+	return s
+}
+
+func TestSchemaBasicTypes(t *testing.T) {
+	s := mustCompile(t, `{
+		"type": "object",
+		"required": ["a", "b"],
+		"additionalProperties": false,
+		"properties": {
+			"a": {"type": "string"},
+			"b": {"type": "integer", "minimum": 0, "maximum": 10},
+			"c": {"type": ["number", "null"]},
+			"d": {"enum": ["x", "y"]},
+			"e": {"type": "array", "items": {"type": "boolean"}}
+		}
+	}`)
+	cases := []struct {
+		name string
+		doc  string
+		want []string // substrings of expected errors; empty = valid
+	}{
+		{"valid", `{"a":"s","b":3,"c":null,"d":"x","e":[true]}`, nil},
+		{"missing-required", `{"a":"s"}`, []string{`missing required property "b"`}},
+		{"wrong-type", `{"a":1,"b":3}`, []string{"$.a: is number, want string"}},
+		{"not-integer", `{"a":"s","b":3.5}`, []string{"$.b: is number, want integer"}},
+		{"below-min", `{"a":"s","b":-1}`, []string{"below minimum 0"}},
+		{"above-max", `{"a":"s","b":11}`, []string{"above maximum 10"}},
+		{"bad-enum", `{"a":"s","b":1,"d":"z"}`, []string{`not in enum`}},
+		{"extra-prop", `{"a":"s","b":1,"zz":0}`, []string{`unexpected property "zz"`}},
+		{"bad-item", `{"a":"s","b":1,"e":[true,3]}`, []string{"$.e[1]: is number, want boolean"}},
+		{"not-json", `{`, []string{"not valid JSON"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := s.Validate([]byte(tc.doc))
+			if len(tc.want) == 0 {
+				if len(errs) != 0 {
+					t.Fatalf("unexpected errors: %v", errs)
+				}
+				return
+			}
+			if len(errs) == 0 {
+				t.Fatalf("document accepted, want errors %v", tc.want)
+			}
+			joined := ""
+			for _, e := range errs {
+				joined += e.Error() + "\n"
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(joined, w) {
+					t.Errorf("errors %q missing %q", joined, w)
+				}
+			}
+		})
+	}
+}
+
+func TestSchemaRefAndDefs(t *testing.T) {
+	s := mustCompile(t, `{
+		"type": "object",
+		"properties": {"q": {"$ref": "#/$defs/queue"}},
+		"$defs": {
+			"queue": {
+				"type": "object",
+				"required": ["depth"],
+				"properties": {"depth": {"type": "integer"}}
+			}
+		}
+	}`)
+	if errs := s.Validate([]byte(`{"q":{"depth":1}}`)); len(errs) != 0 {
+		t.Fatalf("valid ref'd doc rejected: %v", errs)
+	}
+	errs := s.Validate([]byte(`{"q":{}}`))
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), `$.q: missing required property "depth"`) {
+		t.Fatalf("ref'd violation not surfaced: %v", errs)
+	}
+}
+
+func TestSchemaAdditionalPropertiesSchema(t *testing.T) {
+	s := mustCompile(t, `{
+		"type": "object",
+		"additionalProperties": {"type": "integer"}
+	}`)
+	if errs := s.Validate([]byte(`{"x":1,"y":2}`)); len(errs) != 0 {
+		t.Fatalf("map of ints rejected: %v", errs)
+	}
+	if errs := s.Validate([]byte(`{"x":"s"}`)); len(errs) != 1 {
+		t.Fatalf("map with string value accepted: %v", errs)
+	}
+}
+
+func TestSchemaCompileRejectsUnsupported(t *testing.T) {
+	cases := []string{
+		`{"oneOf": [{"type": "string"}]}`,
+		`{"type": "object", "properties": {"a": {"patternProperties": {}}}}`,
+		`{"$ref": "http://example.com/remote"}`,
+		`{"$ref": "#/$defs/missing"}`,
+		`{"items": "nope"}`,
+	}
+	for _, src := range cases {
+		if _, err := CompileSchema([]byte(src)); err == nil {
+			t.Errorf("CompileSchema accepted %s", src)
+		}
+	}
+}
+
+// TestEmbeddedSchemasCompile compiles every shipped wire-contract schema,
+// so a malformed or unsupported schema file fails here rather than at the
+// first conformance run.
+func TestEmbeddedSchemasCompile(t *testing.T) {
+	names := SchemaNames()
+	want := []string{"cluster", "error", "healthz", "infer", "job", "jobs", "models", "stats"}
+	if len(names) != len(want) {
+		t.Fatalf("schemas = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("schemas = %v, want %v", names, want)
+		}
+		if _, err := SchemaFor(n); err != nil {
+			t.Errorf("SchemaFor(%q): %v", n, err)
+		}
+	}
+	if _, err := SchemaFor("nope"); err == nil {
+		t.Error("SchemaFor accepted an unknown name")
+	}
+}
+
+func TestMustSchemaPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema did not panic on an unknown name")
+		}
+	}()
+	MustSchema("definitely-not-a-schema")
+}

@@ -1,0 +1,71 @@
+package conformance
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONEqual(t *testing.T) {
+	mustParse := func(doc string) interface{} {
+		dec := json.NewDecoder(strings.NewReader(doc))
+		dec.UseNumber()
+		var v interface{}
+		if err := dec.Decode(&v); err != nil {
+			t.Fatalf("parsing %s: %v", doc, err)
+		}
+		return v
+	}
+	cases := []struct {
+		a, b string
+		eq   bool
+	}{
+		{`1`, `1.0`, true}, // representation-independent numbers
+		{`1`, `2`, false},
+		{`1`, `"1"`, false},
+		{`"x"`, `"x"`, true},
+		{`true`, `true`, true},
+		{`true`, `false`, false},
+		{`null`, `null`, true},
+		{`null`, `0`, false},
+		{`[1, 2]`, `[1, 2.0]`, true},
+		{`[1, 2]`, `[2, 1]`, false},
+		{`[1]`, `[1, 1]`, false},
+		{`{"a": 1, "b": [true]}`, `{"b": [true], "a": 1}`, true},
+		{`{"a": 1}`, `{"a": 2}`, false},
+		{`{"a": 1}`, `{"a": 1, "b": 2}`, false},
+		{`{"a": 1}`, `[1]`, false},
+	}
+	for _, c := range cases {
+		if got := jsonEqual(mustParse(c.a), mustParse(c.b)); got != c.eq {
+			t.Errorf("jsonEqual(%s, %s) = %v, want %v", c.a, c.b, got, c.eq)
+		}
+	}
+}
+
+func TestTypeNameAndAsFloat(t *testing.T) {
+	names := []struct {
+		v    interface{}
+		want string
+	}{
+		{map[string]interface{}{}, "object"},
+		{[]interface{}{}, "array"},
+		{"s", "string"},
+		{true, "boolean"},
+		{nil, "null"},
+		{float64(3), "number"},
+		{struct{}{}, "struct {}"}, // non-JSON value falls back to Go's %T
+	}
+	for _, c := range names {
+		if got := typeName(c.v); got != c.want {
+			t.Errorf("typeName(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+
+	if f, ok := asFloat(3); !ok || f != 3 {
+		t.Errorf("asFloat(int 3) = %v, %v", f, ok)
+	}
+	if _, ok := asFloat("3"); ok {
+		t.Error("asFloat accepted a string")
+	}
+}

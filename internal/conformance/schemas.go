@@ -1,0 +1,74 @@
+package conformance
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// schemaFS embeds the /v1 wire-contract schemas. One file per response
+// shape; the "error" schema covers every error body (404 zero-model, 429
+// backpressure, 502 per-row fault) — the status code and headers are
+// asserted by the checker, not the schema.
+//
+//go:embed schemas/*.json
+var schemaFS embed.FS
+
+var (
+	schemaMu   sync.Mutex
+	schemaOnce map[string]*Schema
+)
+
+// SchemaNames lists the embedded wire-contract schemas, sorted. It panics
+// if the embedded schema directory is unreadable, which go:embed makes
+// impossible in a well-formed build.
+func SchemaNames() []string {
+	entries, err := schemaFS.ReadDir("schemas")
+	if err != nil { // embed is compile-time; unreachable
+		panic(fmt.Sprintf("conformance: embedded schemas: %v", err))
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SchemaFor returns the compiled wire-contract schema with the given name
+// (e.g. "healthz", "infer", "job", "jobs", "models", "stats", "cluster",
+// "error"). Compilation is cached; unknown names error.
+func SchemaFor(name string) (*Schema, error) {
+	schemaMu.Lock()
+	defer schemaMu.Unlock()
+	if schemaOnce == nil {
+		schemaOnce = make(map[string]*Schema)
+	}
+	if s, ok := schemaOnce[name]; ok {
+		return s, nil
+	}
+	data, err := schemaFS.ReadFile("schemas/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("conformance: no wire schema %q (have %s)",
+			name, strings.Join(SchemaNames(), ", "))
+	}
+	s, err := CompileSchema(data)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: schema %q: %w", name, err)
+	}
+	schemaOnce[name] = s
+	return s, nil
+}
+
+// MustSchema is SchemaFor for the embedded set, panicking on unknown names.
+// The embedded schemas are compiled (and therefore verified) by the package
+// tests, so a panic here marks a programming error, not an input error.
+func MustSchema(name string) *Schema {
+	s, err := SchemaFor(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

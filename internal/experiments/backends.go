@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/npu"
+	"repro/internal/sim"
+)
+
+// InferenceBackends lists the devices ManagerOn can place TOP-IL's
+// inference step on: the modelled NPU (the paper's accelerator), the CPU
+// fallback (the no-accelerator ablation), and the fp16-quantized model on
+// the NPU.
+func InferenceBackends() []string { return []string{"npu", "cpu", "fp16"} }
+
+// ManagerOn instantiates a technique like Manager, additionally selecting
+// TOP-IL's inference backend. Techniques without an inference step (TOP-RL
+// and the governors) accept only the empty backend or "-"; a concrete
+// device for them is a configuration error, not a silent no-op.
+func (p *Pipeline) ManagerOn(technique string, seedIdx int, backend string) (sim.Manager, error) {
+	if technique != "TOP-IL" {
+		if backend != "" && backend != "-" {
+			return nil, fmt.Errorf("experiments: %s has no inference step (backend %q requested)",
+				technique, backend)
+		}
+		return p.Manager(technique, seedIdx)
+	}
+	models, err := p.Models()
+	if err != nil {
+		return nil, err
+	}
+	m := models[seedIdx]
+	var b npu.Backend
+	switch backend {
+	case "", "-", "npu":
+		b = npu.New(m)
+	case "cpu":
+		b = npu.NewCPU(m)
+	case "fp16":
+		// Quantize a copy per call: QuantizeFP16 leaves the shared trained
+		// model untouched, so concurrent cells stay read-only on it.
+		b = npu.New(npu.QuantizeFP16(m))
+	default:
+		return nil, fmt.Errorf("experiments: unknown inference backend %q (have %v)",
+			backend, InferenceBackends())
+	}
+	return core.New(b, core.DefaultConfig()), nil
+}

@@ -2,15 +2,30 @@ package validate
 
 import "testing"
 
+// TestAllChecksPass runs every calibration check as its own subtest, so a
+// failure names the check directly and adding a check never breaks the
+// test (no hard-coded count).
 func TestAllChecksPass(t *testing.T) {
 	results := All()
-	if len(results) != 12 {
-		t.Fatalf("checks = %d, want 12", len(results))
+	if len(results) == 0 {
+		t.Fatal("All() returned no checks")
 	}
+	seen := map[string]bool{}
 	for _, r := range results {
-		if !r.OK {
-			t.Errorf("%s: %s", r.Name, r.Detail)
+		r := r
+		if r.Name == "" {
+			t.Errorf("check with empty name: %+v", r)
+			continue
 		}
+		if seen[r.Name] {
+			t.Errorf("duplicate check name %q", r.Name)
+		}
+		seen[r.Name] = true
+		t.Run(r.Name, func(t *testing.T) {
+			if !r.OK {
+				t.Errorf("%s: %s", r.Name, r.Detail)
+			}
+		})
 	}
 	if failed := Failed(results); len(failed) != 0 {
 		t.Errorf("Failed() reports %d failures", len(failed))

@@ -5,7 +5,9 @@
 # infer + sim round trip over HTTP, scrapes /metrics, then drains it with
 # SIGINT. `scripts/check.sh cluster-smoke` boots three journal-backed
 # replicas behind topil-cluster, SIGKILLs one under load, and checks
-# zero 5xx plus journal recovery.
+# zero 5xx plus journal recovery. `scripts/check.sh conformance` runs the
+# committed conformance packages (docs/CONFORMANCE.md) at -j1 and -j8 and
+# requires byte-identical reports.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -71,6 +73,28 @@ if [ "${1:-}" = "smoke" ]; then
     wait "$pid" || { echo "server did not drain cleanly"; exit 1; }
     pid=""
     echo "serve smoke OK (infer + sim round trip + /metrics + graceful drain)"
+    exit 0
+fi
+
+if [ "${1:-}" = "conformance" ]; then
+    # Policy-result regression gate: the seed packages under
+    # testdata/packages run offline (-serve off keeps this hermetic; the
+    # live-API checks run from topil-validate's own tests and the wire
+    # fixtures in internal/serve). Artifacts are trained once into a temp
+    # cache and reused by the -j8 pass, whose report must be byte-equal
+    # to the -j1 one — the executor's determinism contract.
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+
+    go build -o "$tmp/topil-validate" ./cmd/topil-validate
+    "$tmp/topil-validate" -packages testdata/packages -serve off \
+        -artifacts "$tmp/artifacts" -j 1 >"$tmp/report-j1.txt"
+    "$tmp/topil-validate" -packages testdata/packages -serve off \
+        -artifacts "$tmp/artifacts" -j 8 >"$tmp/report-j8.txt"
+    cmp "$tmp/report-j1.txt" "$tmp/report-j8.txt" || {
+        echo "conformance: -j1 and -j8 reports differ"; exit 1; }
+    cat "$tmp/report-j1.txt"
+    echo "conformance OK (all packages pass; -j1 == -j8 byte-identical)"
     exit 0
 fi
 
