@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race cover fuzz conformance serve-smoke cluster-smoke bench bench-serve
+.PHONY: check build vet lint test race cover fuzz conformance serve-smoke cluster-smoke online-smoke bench bench-serve
 
 check: build vet lint test race cover
 
@@ -63,6 +63,13 @@ serve-smoke:
 # job-store recovery check. See docs/CLUSTER.md.
 cluster-smoke:
 	./scripts/check.sh cluster-smoke
+
+# Continual-learning end-to-end: one full DAgger cycle (recorded ->
+# labeled -> trained -> shadow-scored -> promoted) through a live serve
+# instance with real oracle labeling and a real hot swap. See
+# docs/ONLINE.md.
+online-smoke:
+	./scripts/check.sh online-smoke
 
 # Measure the experiment executor's parallel speedup (sequential vs -j N
 # wall-clock over the multi-cell figures) into BENCH_experiments.json.

@@ -15,8 +15,16 @@
 //	GET    /v1/jobs/{id}   poll one job
 //	DELETE /v1/jobs/{id}   cancel a job
 //	GET    /v1/stats       per-endpoint, batcher and worker-pool metrics
+//	GET    /v1/online      continual-learning status snapshot
 //	GET    /metrics        Prometheus text exposition (?format=json for JSON)
 //	GET    /v1/trace       Chrome trace-event JSON of recent request spans
+//
+// -online MODEL turns on DAgger continual learning (docs/ONLINE.md):
+// visited states from simulations and inference against MODEL are
+// recorded to a durable sample log under -online-dir, labeled by the
+// oracle every -train-interval, and retrained candidates are
+// shadow-scored on live traffic (-shadow-window, -min-agreement) before
+// an atomic hot swap with automatic rollback on telemetry regression.
 //
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ (off by
 // default: profiling endpoints can stall a loaded server and leak
@@ -74,6 +82,13 @@ func run() error {
 		pprof     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		storeDir  = flag.String("store", "", "durable job store directory (empty: jobs are in-memory only)")
 		paceDev   = flag.Bool("pace-device", false, "occupy the modelled NPU for each batch's device latency")
+
+		online        = flag.String("online", "", "model name to continually train on visited states (empty: off)")
+		onlineDir     = flag.String("online-dir", "", "sample-log directory for -online (default <store>/online, required without -store)")
+		trainInterval = flag.Duration("train-interval", 30*time.Second, "spacing between DAgger train cycles")
+		shadowWindow  = flag.Int("shadow-window", 0, "shadow-scored rows required before a candidate is judged (0: gate default)")
+		minAgreement  = flag.Float64("min-agreement", 0, "candidate-vs-incumbent action agreement the gate requires (0: gate default, negative: disabled)")
+		onlineSeed    = flag.Int64("online-seed", 1, "seed for the continual learner's reservoir and retraining")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -112,6 +127,31 @@ func run() error {
 		log.Printf("journaling jobs to %s", *storeDir)
 	}
 
+	var onlineCfg serve.OnlineConfig
+	if *online != "" {
+		dir := *onlineDir
+		if dir == "" && *storeDir != "" {
+			dir = *storeDir + "/online"
+		}
+		if dir == "" {
+			return fmt.Errorf("-online needs -online-dir (or -store to derive it from)")
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("online sample-log directory: %v", err)
+		}
+		onlineCfg = serve.OnlineConfig{
+			Enabled:       true,
+			Model:         *online,
+			Dir:           dir,
+			TrainInterval: *trainInterval,
+			ShadowWindow:  *shadowWindow,
+			MinAgreement:  *minAgreement,
+			Seed:          *onlineSeed,
+		}
+		log.Printf("continual learning on model %q (interval %v, samples in %s)",
+			*online, *trainInterval, dir)
+	}
+
 	srv := serve.NewServer(serve.Config{
 		ModelsDir: *models,
 		Workers:   *workers,
@@ -125,7 +165,11 @@ func run() error {
 		Store:       store,
 		Telemetry:   reg,
 		EnablePprof: *pprof,
+		Online:      onlineCfg,
 	})
+	if *online != "" && srv.OnlineManager() == nil {
+		return fmt.Errorf("continual learner failed to start (see log above)")
+	}
 	if names, err := srv.Registry().List(); err == nil {
 		log.Printf("serving %d model(s) from %s: %v", len(names), *models, names)
 	}

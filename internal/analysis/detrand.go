@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
@@ -14,7 +15,31 @@ import (
 // explicitly seeded *rand.Rand handed in by the caller.
 var DeterministicPackages = []string{
 	"sim", "nn", "oracle", "rl", "workload", "thermal", "power",
-	"platform", "governor", "features", "core", "testkit",
+	"platform", "governor", "features", "core", "testkit", "online",
+}
+
+// DetrandExemptFiles are the designated clock-boundary files inside
+// deterministic packages, keyed by their "internal/<pkg>/<file>" path
+// suffix. Each package gets at most one: the file where wall-clock time
+// enters and is converted to an explicit value every other file receives
+// as input (e.g. online's training loop reads time.Now once per tick and
+// hands RunCycle a plain unix timestamp). Keep this list painfully short —
+// an exemption here is a standing invitation to nondeterminism.
+var DetrandExemptFiles = []string{
+	"internal/online/loop.go",
+}
+
+// detrandExempt reports whether filename (in OS form) is one of the
+// exempt clock-boundary files. Matched as a path suffix, so fixture trees
+// mirroring the layout under testdata are exempt too.
+func detrandExempt(filename string) bool {
+	name := filepath.ToSlash(filename)
+	for _, e := range DetrandExemptFiles {
+		if name == e || strings.HasSuffix(name, "/"+e) {
+			return true
+		}
+	}
+	return false
 }
 
 // detrandAllowed are the math/rand selectors that do NOT touch the global
@@ -64,6 +89,9 @@ func runDetRand(pass *Pass) {
 		return
 	}
 	for _, f := range pass.Pkg.Files {
+		if detrandExempt(pass.Pkg.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
 		// Map the local names of the sensitive imports in this file.
 		locals := map[string]string{} // local ident -> import path
 		for _, imp := range f.Imports {

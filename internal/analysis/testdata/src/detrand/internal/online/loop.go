@@ -1,0 +1,13 @@
+// Package online is a fixture mimicking internal/online, which is in the
+// deterministic set. This file mirrors the package's designated
+// clock-boundary file (DetrandExemptFiles), so its wall-clock reads must
+// NOT be flagged.
+package online
+
+import "time"
+
+// Tick is the sanctioned clock boundary: it reads the wall clock once and
+// hands everything downstream an explicit timestamp.
+func Tick() int64 {
+	return time.Now().Unix()
+}

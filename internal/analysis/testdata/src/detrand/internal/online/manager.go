@@ -1,0 +1,20 @@
+package online
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Cycle is NOT the clock-boundary file, so the deterministic-package rules
+// apply in full.
+func Cycle() float64 {
+	_ = time.Now().Unix() // want "reads the wall clock"
+	return rand.Float64() // want "process-global RNG"
+}
+
+// CycleAt shows the sanctioned pattern: time and randomness arrive as
+// explicit inputs.
+func CycleAt(nowUnix int64, rng *rand.Rand) float64 {
+	_ = nowUnix
+	return rng.Float64()
+}

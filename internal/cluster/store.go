@@ -1,14 +1,13 @@
 package cluster
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
 
+	"repro/internal/journal"
 	"repro/internal/serve"
 )
 
@@ -96,48 +95,21 @@ func OpenJournalStore(dir string) (*JournalStore, error) {
 // line, returning how many leading bytes were consumed by them. The first
 // malformed line — torn (no newline), bad CRC, bad JSON, or a record
 // without an ID — ends the parse: everything after it is untrusted. It is
-// a pure function so FuzzJournalReplay can hammer it directly.
+// a pure function so FuzzJournalReplay can hammer it directly. The line
+// format lives in internal/journal, shared with the online sample log.
 func ParseJournal(data []byte) (recs []serve.JobRecord, good int) {
-	off := 0
-	for off < len(data) {
-		nl := bytes.IndexByte(data[off:], '\n')
-		if nl < 0 {
-			break // torn final line
+	good = journal.Scan(data, func(payload []byte) bool {
+		var rec serve.JobRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return false
 		}
-		line := data[off : off+nl]
-		rec, ok := parseJournalLine(line)
-		if !ok {
-			break
+		if rec.ID == "" {
+			return false
 		}
 		recs = append(recs, rec)
-		off += nl + 1
-		good = off
-	}
+		return true
+	})
 	return recs, good
-}
-
-// parseJournalLine decodes one "<crc32 hex> <json>" line.
-func parseJournalLine(line []byte) (serve.JobRecord, bool) {
-	var rec serve.JobRecord
-	sp := bytes.IndexByte(line, ' ')
-	if sp != 8 { // crc32 is always 8 hex digits
-		return rec, false
-	}
-	var want uint32
-	if _, err := fmt.Sscanf(string(line[:sp]), "%08x", &want); err != nil {
-		return rec, false
-	}
-	payload := line[sp+1:]
-	if crc32.ChecksumIEEE(payload) != want {
-		return rec, false
-	}
-	if err := json.Unmarshal(payload, &rec); err != nil {
-		return rec, false
-	}
-	if rec.ID == "" {
-		return rec, false
-	}
-	return rec, true
 }
 
 // appendJournalLine renders one record in the journal line format.
@@ -146,10 +118,7 @@ func appendJournalLine(buf []byte, rec serve.JobRecord) ([]byte, error) {
 	if err != nil {
 		return buf, err
 	}
-	buf = append(buf, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload))...)
-	buf = append(buf, payload...)
-	buf = append(buf, '\n')
-	return buf, nil
+	return journal.EncodeLine(buf, payload), nil
 }
 
 // SetCompactEvery adjusts the auto-compaction threshold (records in the
@@ -227,27 +196,8 @@ func (s *JournalStore) compactLocked() error {
 	if err != nil {
 		return fmt.Errorf("cluster: encoding snapshot: %w", err)
 	}
-	tmp := filepath.Join(s.dir, snapshotName+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("cluster: snapshot temp: %w", err)
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return fmt.Errorf("cluster: writing snapshot: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("cluster: syncing snapshot: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("cluster: closing snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+	if err := journal.WriteFileAtomic(filepath.Join(s.dir, snapshotName), data); err != nil {
 		return fmt.Errorf("cluster: installing snapshot: %w", err)
-	}
-	if err := syncDir(s.dir); err != nil {
-		return fmt.Errorf("cluster: syncing store dir: %w", err)
 	}
 	if err := s.f.Truncate(0); err != nil {
 		return fmt.Errorf("cluster: truncating journal: %w", err)
@@ -315,14 +265,4 @@ func (s *JournalStore) Close() error {
 	}
 	s.closed = true
 	return s.f.Close()
-}
-
-// syncDir fsyncs a directory so a rename inside it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }

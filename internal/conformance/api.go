@@ -69,6 +69,7 @@ var apiChecks = []apiCheck{
 	{"sim", checkSim},
 	{"jobs", checkJobs},
 	{"stats", checkStats},
+	{"online", checkOnline},
 	{"notFound", checkNotFound},
 	{"backpressure", checkBackpressure},
 }
@@ -339,6 +340,25 @@ func checkStats(ctx context.Context, cfg APIConfig) (string, bool, error) {
 		return "", false, err
 	}
 	return "stats shape ok", false, nil
+}
+
+func checkOnline(ctx context.Context, cfg APIConfig) (string, bool, error) {
+	body, _, err := getChecked(ctx, cfg, "/v1/online", http.StatusOK, "online")
+	if err != nil {
+		return "", false, err
+	}
+	var st struct {
+		Enabled       bool   `json:"enabled"`
+		Model         string `json:"model"`
+		ActiveVersion int    `json:"activeVersion"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return "", false, err
+	}
+	if !st.Enabled {
+		return "continual learning disabled", false, nil
+	}
+	return fmt.Sprintf("model %q active v%d", st.Model, st.ActiveVersion), false, nil
 }
 
 func checkNotFound(ctx context.Context, cfg APIConfig) (string, bool, error) {

@@ -122,7 +122,7 @@ func TestSchemaCompileRejectsUnsupported(t *testing.T) {
 // first conformance run.
 func TestEmbeddedSchemasCompile(t *testing.T) {
 	names := SchemaNames()
-	want := []string{"cluster", "error", "healthz", "infer", "job", "jobs", "models", "stats"}
+	want := []string{"cluster", "error", "healthz", "infer", "job", "jobs", "models", "online", "stats"}
 	if len(names) != len(want) {
 		t.Fatalf("schemas = %v, want %v", names, want)
 	}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// fixedBackend rates one core highest for every row — the observation's
+// Chosen must argmax to it.
+type fixedBackend struct{ best int }
+
+func (f *fixedBackend) Name() string { return "test/fixed" }
+
+func (f *fixedBackend) Infer(batch [][]float64) [][]float64 {
+	out := make([][]float64, len(batch))
+	for i := range batch {
+		row := make([]float64, 8)
+		row[f.best] = 1
+		out[i] = row
+	}
+	return out
+}
+
+func (f *fixedBackend) Latency(int) time.Duration { return time.Millisecond }
+
+func TestObserveHookSeesEveryInferenceEpoch(t *testing.T) {
+	var obs []struct {
+		now    float64
+		apps   []string
+		rows   int
+		chosen []int
+		freqs  []float64
+	}
+	sc := sim.DefaultConfig(true, 25)
+	dim := features.Dim(sc.Platform.NumCores(), len(sc.Platform.Clusters))
+	cfg := DefaultConfig()
+	cfg.Observe = func(o EpochObservation) {
+		if len(o.Apps) != len(o.Rows) || len(o.Apps) != len(o.Chosen) {
+			t.Fatalf("ragged observation: %d apps, %d rows, %d chosen",
+				len(o.Apps), len(o.Rows), len(o.Chosen))
+		}
+		for _, r := range o.Rows {
+			if len(r) != dim {
+				t.Fatalf("feature row has dim %d, want %d", len(r), dim)
+			}
+		}
+		rec := struct {
+			now    float64
+			apps   []string
+			rows   int
+			chosen []int
+			freqs  []float64
+		}{now: o.Now, rows: len(o.Rows)}
+		// The hook contract: slices are reused, observers copy.
+		for _, a := range o.Apps {
+			rec.apps = append(rec.apps, a.Name)
+		}
+		rec.chosen = append(rec.chosen, o.Chosen...)
+		rec.freqs = append(rec.freqs, o.ClusterFreqs...)
+		obs = append(obs, rec)
+	}
+	mgr := New(&fixedBackend{best: 3}, cfg)
+
+	e := sim.New(sc)
+	pm := perf.Default()
+	spec, _ := workload.ByName("adi")
+	spec.TotalInstr = 1e18
+	e.AddJob(workload.Job{Spec: spec, QoS: 0.3 * pm.PeakIPS(sc.Platform, spec)})
+	e.Run(mgr, 5)
+
+	if len(obs) == 0 {
+		t.Fatal("no epochs observed")
+	}
+	prev := -1.0
+	for i, o := range obs {
+		if o.now <= prev {
+			t.Fatalf("observation %d: Now %g not increasing (prev %g)", i, o.now, prev)
+		}
+		prev = o.now
+		if o.rows == 0 {
+			t.Fatalf("observation %d carries no rows", i)
+		}
+		for k, c := range o.chosen {
+			if c != 3 {
+				t.Fatalf("observation %d row %d: chosen core %d, want argmax 3", i, k, c)
+			}
+		}
+		if len(o.freqs) != len(sc.Platform.Clusters) {
+			t.Fatalf("observation %d: %d cluster freqs, want %d", i, len(o.freqs), len(sc.Platform.Clusters))
+		}
+		for ci, f := range o.freqs {
+			if f <= 0 {
+				t.Fatalf("observation %d: cluster %d frequency %g", i, ci, f)
+			}
+		}
+		if o.apps[0] != "adi" {
+			t.Fatalf("observation %d: app %q, want adi", i, o.apps[0])
+		}
+	}
+	// Settle-skipped epochs must not be observed: with one app on the best
+	// core from the start there are no migrations, so every ~500 ms epoch
+	// after admission appears exactly once.
+	st := mgr.Stats()
+	if len(obs) > st.MigrationInvocations {
+		t.Fatalf("%d observations > %d migration invocations", len(obs), st.MigrationInvocations)
+	}
+}

@@ -48,6 +48,27 @@ type Config struct {
 	// the paper's skip-after-migration rule (which it applies to the
 	// DVFS loop) to the migration policy itself.
 	SettleEpochs int
+
+	// Observe, when set, receives every migration epoch that ran
+	// inference — the visited states a DAgger-style online learner
+	// records. Settle-skipped and empty epochs produce no observation.
+	// The observation's slices are reused across epochs and are only
+	// valid for the duration of the call: observers must copy what they
+	// retain.
+	Observe func(EpochObservation)
+}
+
+// EpochObservation is one migration epoch as seen by the policy: the
+// feature rows it inferred on (one per running application as the AoI),
+// the action (core) each row's ratings argmax to, and the context needed
+// to reconstruct the state for an expert query later. All slices are
+// owned by the manager and reused; see Config.Observe.
+type EpochObservation struct {
+	Now          float64       // simulation time (s)
+	Apps         []sim.AppView // row k describes Apps[k] as the AoI
+	Rows         [][]float64   // feature vectors handed to the backend
+	Chosen       []int         // argmax core per row
+	ClusterFreqs []float64     // current frequency per cluster (Hz)
 }
 
 // DefaultConfig returns the paper's parameters. Overhead constants are
@@ -95,6 +116,11 @@ type TOPIL struct {
 	snap    features.Snapshot
 	views   []sim.AppView
 	batch   features.Batch
+
+	// obsChosen/obsFreqs are the reused EpochObservation buffers —
+	// allocated only when Config.Observe is set.
+	obsChosen []int
+	obsFreqs  []float64
 }
 
 // New creates a TOP-IL manager using the given inference backend (an
@@ -133,7 +159,7 @@ func (t *TOPIL) Stats() OverheadStats { return t.stats }
 func (t *TOPIL) Tick(now float64) {
 	if now >= t.nextMig-1e-9 {
 		t.nextMig = now + t.cfg.MigrationPeriod
-		t.migrate()
+		t.migrate(now)
 		return
 	}
 	n := t.dvfs.Step()
@@ -175,7 +201,7 @@ func (t *TOPIL) Place(job workload.Job) platform.CoreID {
 
 // migrate performs one migration epoch: parallel inference with every
 // running application as the AoI, then the single best migration.
-func (t *TOPIL) migrate() {
+func (t *TOPIL) migrate(now float64) {
 	t.views = features.FromEnvInto(&t.snap, t.env, t.views)
 	s := &t.snap
 	n := len(s.Apps)
@@ -210,6 +236,36 @@ func (t *TOPIL) migrate() {
 		t.batch.VectorInto(rows[i], i)
 	}
 	ratings := t.backend.Infer(rows)
+
+	if t.cfg.Observe != nil {
+		if cap(t.obsChosen) < n {
+			t.obsChosen = make([]int, n)
+		}
+		t.obsChosen = t.obsChosen[:n]
+		for k := range rows {
+			best, bestR := 0, math.Inf(-1)
+			for c := 0; c < s.NumCores; c++ {
+				if r := ratings[k][c]; r > bestR {
+					best, bestR = c, r
+				}
+			}
+			t.obsChosen[k] = best
+		}
+		if cap(t.obsFreqs) < len(s.Clusters) {
+			t.obsFreqs = make([]float64, len(s.Clusters))
+		}
+		t.obsFreqs = t.obsFreqs[:len(s.Clusters)]
+		for ci := range s.Clusters {
+			t.obsFreqs[ci] = s.Clusters[ci].Freq
+		}
+		t.cfg.Observe(EpochObservation{
+			Now:          now,
+			Apps:         t.views[:n],
+			Rows:         rows,
+			Chosen:       t.obsChosen,
+			ClusterFreqs: t.obsFreqs,
+		})
+	}
 
 	bestImp := math.Inf(-1)
 	bestApp, bestCore := -1, platform.CoreID(-1)

@@ -1,0 +1,111 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte(`{"id":"a"}`),
+		[]byte(`{"id":"b","n":2}`),
+		[]byte(``),
+	}
+	var buf []byte
+	for _, p := range payloads {
+		buf = EncodeLine(buf, p)
+	}
+	var got [][]byte
+	good := Scan(buf, func(p []byte) bool {
+		got = append(got, append([]byte(nil), p...))
+		return true
+	})
+	if good != len(buf) {
+		t.Fatalf("good = %d, want %d (whole buffer)", good, len(buf))
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("scanned %d payloads, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Errorf("payload %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+}
+
+func TestScanStopsAtTornTail(t *testing.T) {
+	var buf []byte
+	buf = EncodeLine(buf, []byte(`one`))
+	intact := len(buf)
+	buf = append(buf, []byte("0badc0de torn-without-newline")...)
+	n := 0
+	good := Scan(buf, func([]byte) bool { n++; return true })
+	if good != intact || n != 1 {
+		t.Fatalf("good = %d (want %d), lines = %d (want 1)", good, intact, n)
+	}
+}
+
+func TestScanStopsAtBadCRC(t *testing.T) {
+	var buf []byte
+	buf = EncodeLine(buf, []byte(`one`))
+	intact := len(buf)
+	buf = EncodeLine(buf, []byte(`two`))
+	// Flip a payload byte of the second line: its CRC no longer matches.
+	buf[intact+9+1] ^= 0xff
+	buf = EncodeLine(buf, []byte(`three`)) // after corruption: untrusted
+	n := 0
+	good := Scan(buf, func([]byte) bool { n++; return true })
+	if good != intact || n != 1 {
+		t.Fatalf("good = %d (want %d), lines = %d (want 1)", good, intact, n)
+	}
+}
+
+func TestScanStopsWhenFnRejects(t *testing.T) {
+	var buf []byte
+	buf = EncodeLine(buf, []byte(`keep`))
+	intact := len(buf)
+	buf = EncodeLine(buf, []byte(`reject`))
+	buf = EncodeLine(buf, []byte(`after`))
+	var seen [][]byte
+	good := Scan(buf, func(p []byte) bool {
+		seen = append(seen, p)
+		return string(p) != "reject"
+	})
+	if good != intact {
+		t.Fatalf("good = %d, want %d", good, intact)
+	}
+	if len(seen) != 2 { // fn sees the rejected line but nothing after it
+		t.Fatalf("fn saw %d lines, want 2", len(seen))
+	}
+}
+
+func TestDecodeLineMalformed(t *testing.T) {
+	for _, line := range []string{"", "short x", "not-hex-8 payload", "deadbeefpayload"} {
+		if _, ok := DecodeLine([]byte(line)); ok {
+			t.Errorf("DecodeLine(%q) accepted a malformed line", line)
+		}
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	if err := WriteFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v2" {
+		t.Fatalf("content = %q, want %q", data, "v2")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package online
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestLoopDrivesFullCycleWithRollback(t *testing.T) {
+	pub := newFakePublisher(nn.NewMLP([]int{3, 8, 8}, 1))
+	replay := &scriptedReplay{metrics: ReplayMetrics{ViolationFrac: 0.1, PeakTemp: 60}}
+	m := managerFixture(t, pub, replay.fn)
+	m.gate.Window = 1
+
+	recordN(t, m, 6, 0)
+	var live atomic.Value
+	live.Store([2]float64{0.1, 60})
+	loop := StartLoop(LoopConfig{
+		Interval: 2 * time.Millisecond,
+		Manager:  m,
+		Telemetry: func() (float64, float64, bool) {
+			v := live.Load().([2]float64)
+			return v[0], v[1], true
+		},
+	})
+	defer loop.Close()
+
+	// The ticker drains the recorded samples, trains and stages a shadow.
+	waitFor(t, "candidate staged", func() bool {
+		_, shadow := pub.state()
+		return shadow == 2
+	})
+	// Feed agreeing shadow traffic; the next tick promotes.
+	m.ObserveShadow(1, 2, rows(2, 3), rows(2, 3))
+	waitFor(t, "promotion", func() bool {
+		active, _ := pub.state()
+		return active == 2
+	})
+	// Regressing live telemetry rolls back automatically.
+	live.Store([2]float64{0.9, 60})
+	waitFor(t, "rollback", func() bool {
+		active, _ := pub.state()
+		return active == 1
+	})
+	if st := m.Status(); st.Promotions != 1 || st.Rollbacks != 1 {
+		t.Fatalf("loop lifecycle counters: %+v", st)
+	}
+}
+
+func TestLoopSurvivesPanicsAndReportsErrors(t *testing.T) {
+	pub := newFakePublisher(nn.NewMLP([]int{3, 8, 8}, 1))
+	m := managerFixture(t, pub, (&scriptedReplay{}).fn)
+
+	var trainCalls, errs atomic.Int64
+	m.cfg.Train = func(incumbent *nn.MLP, ds nn.Dataset, seed int64) (*nn.MLP, error) {
+		trainCalls.Add(1)
+		panic("synthetic train panic")
+	}
+	recordN(t, m, 6, 0)
+	loop := StartLoop(LoopConfig{
+		Interval: 2 * time.Millisecond,
+		Manager:  m,
+		// A panicking telemetry probe must not kill the loop either.
+		Telemetry: func() (float64, float64, bool) { panic("synthetic telemetry panic") },
+		OnError:   func(error) { errs.Add(1) },
+	})
+
+	waitFor(t, "train attempt", func() bool { return trainCalls.Load() >= 1 })
+	waitFor(t, "error surfaced", func() bool { return errs.Load() >= 1 })
+	// Later ticks still run (the telemetry panic did not end the loop):
+	// record more samples and watch another train attempt happen.
+	before := trainCalls.Load()
+	recordN(t, m, 6, 6)
+	waitFor(t, "loop still ticking", func() bool { return trainCalls.Load() > before })
+	loop.Close()
+
+	st := m.Status()
+	if st.TrainFailures == 0 {
+		t.Fatalf("panicking train not surfaced: %+v", st)
+	}
+	if active, shadow := pub.state(); active != 1 || shadow != 0 {
+		t.Fatalf("failed loop cycles touched the registry: v%d/v%d", active, shadow)
+	}
+	// Close is idempotent.
+	loop.Close()
+}
+
+func TestLoopDefaultInterval(t *testing.T) {
+	pub := newFakePublisher(nn.NewMLP([]int{3, 8, 8}, 1))
+	m := managerFixture(t, pub, (&scriptedReplay{}).fn)
+	loop := StartLoop(LoopConfig{Manager: m})
+	if loop.cfg.Interval != 30*time.Second {
+		t.Fatalf("default interval = %v", loop.cfg.Interval)
+	}
+	loop.Close()
+}

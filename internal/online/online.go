@@ -1,0 +1,49 @@
+// Package online implements DAgger-style continual imitation learning for
+// the serving stack: visited feature states are recorded to a bounded
+// durable sample log, a background trainer queries the oracle for expert
+// labels on those *visited* states (the DAgger correction — labels come
+// from the expert, actions from the learner), merges them into an
+// aggregated dataset and retrains the MLP off the request path. Candidate
+// models are published to a versioned registry, scored in shadow against
+// live traffic, auto-promoted through a gate on action agreement and
+// simulated QoS / peak-temperature deltas, and auto-rolled-back when
+// post-promotion telemetry regresses.
+//
+// The package is deterministic (seeded RNG everywhere, no wall-clock
+// reads) except for loop.go, the wall-clock serve adapter that paces
+// cycles in a real process.
+package online
+
+// Origin values for Sample.Origin.
+const (
+	// OriginSim marks states visited by the simulation job pool — these
+	// carry full scenario context and are the DAgger labeling targets.
+	OriginSim = "sim"
+	// OriginInfer marks states submitted over the HTTP inference path.
+	// They lack scenario context (no AoI identity, no background specs),
+	// so the oracle cannot label them; they are recorded for rate
+	// accounting and future replay but skipped by the labeler.
+	OriginInfer = "infer"
+)
+
+// BackgroundRef identifies one background application pinned to a core at
+// the time a state was visited — enough to rebuild the oracle scenario.
+type BackgroundRef struct {
+	Name string `json:"name"`
+	Core int    `json:"core"`
+}
+
+// Sample is one visited state with the policy's chosen action: the DAgger
+// unit of aggregation. Seq is the lifetime append index assigned by the
+// SampleLog (1-based, monotonic), which makes reservoir decisions and
+// journal replay exactly reproducible from (seed, Seq).
+type Sample struct {
+	Seq          uint64          `json:"seq"`
+	Origin       string          `json:"origin"`
+	AoI          string          `json:"aoi,omitempty"`   // benchmark name of the AoI
+	Features     []float64       `json:"x"`               // feature vector handed to the policy
+	Action       int             `json:"action"`          // core the policy's ratings argmax to
+	QoS          float64         `json:"qos,omitempty"`   // AoI QoS target (instr/s)
+	ClusterFreqs []float64       `json:"freqs,omitempty"` // per-cluster frequency at visit (Hz)
+	Background   []BackgroundRef `json:"bg,omitempty"`
+}

@@ -1,0 +1,57 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/platform"
+)
+
+func TestSimReplayIsDeterministic(t *testing.T) {
+	plat := platform.HiKey970()
+	dim := features.Dim(plat.NumCores(), plat.NumClusters())
+	m := nn.NewMLP([]int{dim, 16, plat.NumCores()}, 5)
+	replay := SimReplay(3, 2)
+
+	a, err := replay(m, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := replay(m, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("replay not deterministic: %+v vs %+v", a, b)
+	}
+	if a.PeakTemp <= 0 {
+		t.Fatalf("implausible replay metrics: %+v", a)
+	}
+	if a.ViolationFrac < 0 || a.ViolationFrac > 1 {
+		t.Fatalf("violation fraction %g outside [0, 1]", a.ViolationFrac)
+	}
+
+	// A different seed picks a different scenario (and negative seeds are
+	// legal — the pool index must not go negative).
+	if _, err := replay(m, -3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimReplayRejectsNilModel(t *testing.T) {
+	replay := SimReplay(0, 0) // also exercises the duration/apps defaults
+	if _, err := replay(nil, 1); err == nil {
+		t.Fatal("replayed a nil model")
+	}
+}
+
+func TestSimReplayContainsPanics(t *testing.T) {
+	// A model with the wrong input dim makes the backend panic mid-sim;
+	// the replay must surface that as an error, not crash the trainer.
+	m := nn.NewMLP([]int{2, 4, 8}, 1)
+	replay := SimReplay(2, 1)
+	if _, err := replay(m, 1); err == nil {
+		t.Fatal("dimension-mismatched replay returned no error")
+	}
+}

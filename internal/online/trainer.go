@@ -1,0 +1,52 @@
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// TrainFunc retrains the policy on the aggregated dataset. incumbent is
+// the currently active network (never mutated — clone for warm starts);
+// seed makes the run reproducible. Implementations may panic: the manager
+// converts panics into train failures.
+type TrainFunc func(incumbent *nn.MLP, ds nn.Dataset, seed int64) (*nn.MLP, error)
+
+// DefaultTrainConfig returns the online retraining hyper-parameters: a
+// short warm-start schedule (the candidate starts from the incumbent's
+// weights, so far fewer epochs than a from-scratch fit) with a gentle
+// learning rate that refines rather than overwrites what the offline
+// dataset taught.
+func DefaultTrainConfig() nn.TrainConfig {
+	return nn.TrainConfig{
+		LR0:       2e-3,
+		LRDecay:   0.97,
+		MaxEpochs: 60,
+		Patience:  12,
+	}
+}
+
+// DefaultTrain returns a TrainFunc that warm-starts from the incumbent and
+// fits the aggregate with a 15 % validation split for early stopping.
+func DefaultTrain(cfg nn.TrainConfig) TrainFunc {
+	return func(incumbent *nn.MLP, ds nn.Dataset, seed int64) (*nn.MLP, error) {
+		if incumbent == nil {
+			return nil, fmt.Errorf("online: no incumbent model to warm-start from")
+		}
+		if ds.Len() == 0 {
+			return nil, fmt.Errorf("online: empty aggregated dataset")
+		}
+		m := incumbent.Clone()
+		train, val := ds.Split(0.15, seed)
+		if train.Len() == 0 || val.Len() == 0 {
+			// Too small to hold out: validate on the training set (early
+			// stopping then tracks the training loss).
+			train, val = ds, ds
+		}
+		cfg.Seed = seed
+		if _, err := m.Train(train, val, cfg); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+}

@@ -1,0 +1,82 @@
+package online
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// toyDataset builds a deterministic regression set mapping x -> one-hot.
+func toyDataset(n, inDim, outDim int, seed int64) nn.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	var ds nn.Dataset
+	for i := 0; i < n; i++ {
+		x := make([]float64, inDim)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		y := make([]float64, outDim)
+		y[i%outDim] = 1
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, y)
+	}
+	return ds
+}
+
+func TestDefaultTrainWarmStartsWithoutMutatingIncumbent(t *testing.T) {
+	cfg := DefaultTrainConfig()
+	cfg.MaxEpochs = 5
+	train := DefaultTrain(cfg)
+
+	incumbent := nn.NewMLP([]int{4, 8, 3}, 2)
+	probe := []float64{0.1, 0.2, 0.3, 0.4}
+	before := append([]float64(nil), incumbent.Predict(probe)...)
+
+	ds := toyDataset(40, 4, 3, 9)
+	cand, err := train(incumbent, ds, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand == incumbent {
+		t.Fatal("trainer returned the incumbent instance")
+	}
+	if after := incumbent.Predict(probe); !reflect.DeepEqual(before, after) {
+		t.Fatalf("training mutated the incumbent: %v -> %v", before, after)
+	}
+	if got := cand.Predict(probe); len(got) != 3 {
+		t.Fatalf("candidate output dim %d, want 3", len(got))
+	}
+
+	// Same (incumbent, dataset, seed) → identical candidate.
+	c2, err := train(incumbent, ds, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cand.Predict(probe), c2.Predict(probe)) {
+		t.Fatal("training not deterministic for a fixed seed")
+	}
+}
+
+func TestDefaultTrainTinyDatasetFallsBackToSelfValidation(t *testing.T) {
+	cfg := DefaultTrainConfig()
+	cfg.MaxEpochs = 3
+	train := DefaultTrain(cfg)
+	incumbent := nn.NewMLP([]int{4, 8, 3}, 2)
+	// Two examples: a 15% split leaves an empty side, so the trainer must
+	// fall back to validating on the training set.
+	if _, err := train(incumbent, toyDataset(2, 4, 3, 1), 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultTrainRejectsBadInputs(t *testing.T) {
+	train := DefaultTrain(DefaultTrainConfig())
+	if _, err := train(nil, toyDataset(4, 4, 3, 1), 1); err == nil {
+		t.Fatal("trained from a nil incumbent")
+	}
+	if _, err := train(nn.NewMLP([]int{4, 8, 3}, 2), nn.Dataset{}, 1); err == nil {
+		t.Fatal("trained on an empty dataset")
+	}
+}

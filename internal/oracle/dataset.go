@@ -4,7 +4,6 @@ import (
 	"compress/gzip"
 	"encoding/json"
 	"fmt"
-	"math"
 	"math/rand"
 	"os"
 	"sort"
@@ -274,37 +273,14 @@ func ExtractExamples(ts *TraceSet, cfg Config) ([]Example, error) {
 	for _, q := range qValues {
 		for _, liTilde := range sweep(0) {
 			for _, biTilde := range sweep(1) {
-				res := make(map[platform.CoreID]resolved, len(ts.FreeCores))
-				optTemp := math.Inf(1)
-				for _, core := range ts.FreeCores {
-					r, err := resolve(ts, plat, core, q, liTilde, biTilde)
-					if err != nil {
-						return nil, err
-					}
-					res[core] = r
-					if r.feasible && r.point.PeakTemp < optTemp {
-						optTemp = r.point.PeakTemp
-					}
+				res, labels, temps, optTemp, ok, err := labelSelection(ts, plat, cfg, q, liTilde, biTilde)
+				if err != nil {
+					return nil, err
 				}
-				if math.IsInf(optTemp, 1) {
+				if !ok {
 					// No core can satisfy the target: the paper's
 					// sweep skips such selections (nothing to learn).
 					continue
-				}
-
-				labels := make([]float64, ts.NumCores)
-				temps := make([]float64, ts.NumCores)
-				for c := range temps {
-					temps[c] = NotApplicable
-				}
-				for _, core := range ts.FreeCores {
-					r := res[core]
-					if !r.feasible {
-						labels[core] = -1
-						continue
-					}
-					labels[core] = math.Exp(-cfg.Alpha * (r.point.PeakTemp - optTemp))
-					temps[core] = r.point.PeakTemp
 				}
 
 				tildeL := little.FreqAt(ts.Grid[liTilde])

@@ -1,0 +1,99 @@
+package oracle
+
+import (
+	"math"
+
+	"repro/internal/platform"
+)
+
+// VisitedLabels is the oracle's answer to one DAgger labeling query: the
+// per-core soft labels of Eq. (4) for a single (QoS target, background VF
+// requirement) selection, plus the underlying temperatures.
+type VisitedLabels struct {
+	// Labels holds one entry per platform core: exp(-α·(T_peak − T_opt))
+	// on feasible free cores, −1 on free cores that cannot reach the QoS
+	// target, 0 on cores occupied by background.
+	Labels []float64
+	// Temps retains the oracle peak temperature (°C) per feasible free
+	// core (NotApplicable elsewhere) for evaluation tooling.
+	Temps []float64
+	// OptTemp is the peak temperature of the oracle-optimal mapping (°C).
+	OptTemp float64
+}
+
+// LabelVisited answers a DAgger expert query against a collected trace
+// set: the soft labels a policy should have produced for a *visited*
+// state described by its QoS target q (instr/s) and the per-cluster
+// background VF requirements as grid positions (liTilde, biTilde, indices
+// into ts.Grid). ok is false when no free core can satisfy the target —
+// the same selections ExtractExamples skips, since they carry nothing to
+// learn. The label computation is shared verbatim with ExtractExamples,
+// so online-aggregated examples and the offline dataset come from one
+// implementation.
+func LabelVisited(ts *TraceSet, cfg Config, q float64, liTilde, biTilde int) (VisitedLabels, bool, error) {
+	if liTilde < 0 || liTilde >= len(ts.Grid) || biTilde < 0 || biTilde >= len(ts.Grid) {
+		return VisitedLabels{}, false, nil
+	}
+	plat := platform.HiKey970()
+	_, labels, temps, optTemp, ok, err := labelSelection(ts, plat, cfg, q, liTilde, biTilde)
+	if err != nil || !ok {
+		return VisitedLabels{}, false, err
+	}
+	return VisitedLabels{Labels: labels, Temps: temps, OptTemp: optTemp}, true, nil
+}
+
+// labelSelection resolves every free core for one (q, liTilde, biTilde)
+// selection and computes the Eq. (4) labels. ok is false when no core can
+// satisfy the target. It is the single labeling implementation behind
+// both ExtractExamples and LabelVisited.
+func labelSelection(ts *TraceSet, plat *platform.Platform, cfg Config,
+	q float64, liTilde, biTilde int) (res map[platform.CoreID]resolved,
+	labels, temps []float64, optTemp float64, ok bool, err error) {
+	res = make(map[platform.CoreID]resolved, len(ts.FreeCores))
+	optTemp = math.Inf(1)
+	for _, core := range ts.FreeCores {
+		r, rerr := resolve(ts, plat, core, q, liTilde, biTilde)
+		if rerr != nil {
+			return nil, nil, nil, 0, false, rerr
+		}
+		res[core] = r
+		if r.feasible && r.point.PeakTemp < optTemp {
+			optTemp = r.point.PeakTemp
+		}
+	}
+	if math.IsInf(optTemp, 1) {
+		// No core can satisfy the target: the paper's sweep skips such
+		// selections (nothing to learn).
+		return nil, nil, nil, 0, false, nil
+	}
+
+	labels = make([]float64, ts.NumCores)
+	temps = make([]float64, ts.NumCores)
+	for c := range temps {
+		temps[c] = NotApplicable
+	}
+	for _, core := range ts.FreeCores {
+		r := res[core]
+		if !r.feasible {
+			labels[core] = -1
+			continue
+		}
+		labels[core] = math.Exp(-cfg.Alpha * (r.point.PeakTemp - optTemp))
+		temps[core] = r.point.PeakTemp
+	}
+	return res, labels, temps, optTemp, true, nil
+}
+
+// GridPosFor maps a required cluster frequency (Hz) to the lowest traced
+// grid position whose frequency covers it — how a live VF requirement
+// (Eq. 2) is quantized onto the oracle's reduced level grid for a DAgger
+// query. Requirements beyond the grid's reach clamp to the highest
+// position.
+func GridPosFor(cluster *platform.Cluster, grid []int, freq float64) int {
+	for pos, idx := range grid {
+		if cluster.FreqAt(idx) >= freq-1e-6 {
+			return pos
+		}
+	}
+	return len(grid) - 1
+}

@@ -61,6 +61,42 @@ type BatcherConfig struct {
 	Registry *telemetry.Registry
 	// Name is the batcher's `model` label value (the served model's name).
 	Name string
+	// OnShadow, when set, receives every successfully served batch that a
+	// shadow backend also scored (see BackendSource.Shadow). It is called
+	// from dispatch goroutines after the active results were delivered —
+	// shadow scoring never delays or alters what clients receive — and
+	// must be safe for concurrent use.
+	OnShadow func(ShadowBatch)
+}
+
+// BackendSource hands the batcher its inference backend per batch. Acquire
+// is called exactly once per batch, so every row of a batch is served by
+// the same backend version — a Swap between two batches is atomic, a Swap
+// during a batch leaves that batch on the version it acquired. Both
+// methods must be lock-free-fast and safe for concurrent use.
+type BackendSource interface {
+	// Acquire snapshots the backend serving new batches and its version.
+	// A nil backend means the source has nothing active (the batch fails).
+	Acquire() (npu.Backend, int)
+	// Shadow snapshots the mirrored candidate, if any.
+	Shadow() (npu.Backend, int, bool)
+}
+
+// fixedSource adapts a plain backend to BackendSource: version 0, no
+// shadow — the unversioned single-model behaviour of NewBatcher.
+type fixedSource struct{ be npu.Backend }
+
+func (f fixedSource) Acquire() (npu.Backend, int)      { return f.be, 0 }
+func (f fixedSource) Shadow() (npu.Backend, int, bool) { return nil, 0, false }
+
+// ShadowBatch is one mirrored batch: the inputs, what the active version
+// served, and what the shadow version would have answered.
+type ShadowBatch struct {
+	ActiveVersion int
+	ShadowVersion int
+	Inputs        [][]float64
+	Active        [][]float64
+	Shadow        [][]float64
 }
 
 // DefaultBatcherConfig returns production defaults: one NPU wave per batch
@@ -81,6 +117,7 @@ type batchResp struct {
 	out       []float64
 	device    time.Duration // modelled device latency of the whole batch
 	batchSize int
+	version   int   // model version the batch was served by
 	err       error // per-request failure (wraps ErrInference)
 }
 
@@ -91,6 +128,9 @@ type SubmitInfo struct {
 	// DeviceLatency is the modelled accelerator cost of that batch — by the
 	// paper's Fig. 12 nearly independent of BatchSize on the NPU.
 	DeviceLatency time.Duration
+	// ModelVersion is the registry version that served the batch (0 for
+	// unversioned backends). Every row of a batch reports the same value.
+	ModelVersion int
 }
 
 // Batcher coalesces concurrent inference submissions into batches, the
@@ -103,7 +143,7 @@ type SubmitInfo struct {
 // dispatch goroutine (mirroring npu.InferAsync) and immediately resumes
 // collecting — inference never blocks admission.
 type Batcher struct {
-	backend  npu.Backend
+	src      BackendSource
 	inputDim int
 	cfg      BatcherConfig
 
@@ -173,13 +213,24 @@ type BatcherStats struct {
 	BatchPanics  uint64  `json:"batchPanics"`
 }
 
-// NewBatcher starts a batcher over the given backend. inputDim guards
+// NewBatcher starts a batcher over one fixed backend. inputDim guards
 // submissions (the backend's model would panic on a wrong dimension deep
 // inside a dispatch goroutine otherwise). Close must be called to release
 // the collector.
 func NewBatcher(backend npu.Backend, inputDim int, cfg BatcherConfig) *Batcher {
 	if backend == nil {
 		panic("serve: nil backend")
+	}
+	return NewBatcherSource(fixedSource{be: backend}, inputDim, cfg)
+}
+
+// NewBatcherSource starts a batcher that re-acquires its backend from src
+// once per batch — the hot-swappable form. See BackendSource for the
+// version-atomicity contract. Panics if src is nil (a wiring bug, not a
+// runtime condition).
+func NewBatcherSource(src BackendSource, inputDim int, cfg BatcherConfig) *Batcher {
+	if src == nil {
+		panic("serve: nil backend source")
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultBatcherConfig().MaxBatch
@@ -200,7 +251,7 @@ func NewBatcher(backend npu.Backend, inputDim int, cfg BatcherConfig) *Batcher {
 		cfg.Name = "default"
 	}
 	b := &Batcher{
-		backend:  backend,
+		src:      src,
 		inputDim: inputDim,
 		cfg:      cfg,
 		reqs:     make(chan batchReq, cfg.QueueCap),
@@ -243,9 +294,10 @@ func (b *Batcher) Submit(ctx context.Context, in []float64) ([]float64, SubmitIn
 	select {
 	case resp := <-req.out:
 		if resp.err != nil {
-			return nil, SubmitInfo{BatchSize: resp.batchSize}, resp.err
+			return nil, SubmitInfo{BatchSize: resp.batchSize, ModelVersion: resp.version}, resp.err
 		}
-		return resp.out, SubmitInfo{BatchSize: resp.batchSize, DeviceLatency: resp.device}, nil
+		return resp.out, SubmitInfo{BatchSize: resp.batchSize, DeviceLatency: resp.device,
+			ModelVersion: resp.version}, nil
 	case <-ctx.Done():
 		// The collector will still compute and deliver into the buffered
 		// channel; the result is simply discarded.
@@ -330,12 +382,25 @@ func (b *Batcher) flush(batch []batchReq, full bool) {
 			<-b.sem
 			b.inflight.Done()
 		}()
+		// One Acquire per batch: every row is served by the same backend
+		// version, so a concurrent Swap can never split a batch.
+		be, ver := b.src.Acquire()
+		if be == nil {
+			for _, r := range batch {
+				r.out <- batchResp{
+					err:       fmt.Errorf("%w: no active model version", ErrNotFound),
+					batchSize: len(batch),
+				}
+			}
+			b.stats.inferErrors.Add(float64(len(batch)))
+			return
+		}
 		ins := make([][]float64, len(batch))
 		for i, r := range batch {
 			ins[i] = r.in
 		}
-		outs, err := b.runBatch(ins)
-		modelled := b.backend.Latency(len(batch))
+		outs, err := b.runBatch(be, ins)
+		modelled := be.Latency(len(batch))
 		if b.cfg.PaceDevice && b.cfg.PaceScale > 1 {
 			modelled = time.Duration(float64(modelled) * b.cfg.PaceScale)
 		}
@@ -354,36 +419,64 @@ func (b *Batcher) flush(batch []batchReq, full bool) {
 			switch {
 			case err != nil:
 				rowErrs++
-				r.out <- batchResp{err: err, batchSize: len(batch)}
+				r.out <- batchResp{err: err, batchSize: len(batch), version: ver}
 			case i >= len(outs) || outs[i] == nil:
 				rowErrs++
 				r.out <- batchResp{
 					err: fmt.Errorf("%w: device %s returned no output for request %d of a batch of %d",
-						ErrInference, b.backend.Name(), i, len(batch)),
+						ErrInference, be.Name(), i, len(batch)),
 					batchSize: len(batch),
+					version:   ver,
 				}
 			default:
-				r.out <- batchResp{out: outs[i], device: dev, batchSize: len(batch)}
+				r.out <- batchResp{out: outs[i], device: dev, batchSize: len(batch), version: ver}
 			}
 		}
 		b.stats.inferErrors.Add(float64(rowErrs))
 		if err != nil {
 			b.stats.batchPanics.Inc()
 		}
+		b.mirrorShadow(ver, ins, outs, err)
 	}()
 }
 
 // runBatch performs one device invocation, converting a backend panic into
 // an ErrInference-wrapped error so a faulty device call fails the batch's
 // requests instead of killing the server.
-func (b *Batcher) runBatch(ins [][]float64) (outs [][]float64, err error) {
+func (b *Batcher) runBatch(be npu.Backend, ins [][]float64) (outs [][]float64, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("%w: device %s panicked on a batch of %d: %v",
-				ErrInference, b.backend.Name(), len(ins), p)
+				ErrInference, be.Name(), len(ins), p)
 		}
 	}()
-	return b.backend.Infer(ins), nil
+	return be.Infer(ins), nil
+}
+
+// mirrorShadow re-runs a successfully served batch against the source's
+// shadow backend, if one is set, and reports both answers to OnShadow. It
+// runs after delivery inside the dispatch goroutine: shadow scoring costs
+// device-slot time but never client latency or results. A panicking shadow
+// backend is swallowed — a broken candidate must not disturb serving.
+func (b *Batcher) mirrorShadow(activeVer int, ins, active [][]float64, batchErr error) {
+	if b.cfg.OnShadow == nil || batchErr != nil {
+		return
+	}
+	sh, shVer, ok := b.src.Shadow()
+	if !ok {
+		return
+	}
+	outs, err := b.runBatch(sh, ins)
+	if err != nil || len(outs) != len(ins) {
+		return
+	}
+	b.cfg.OnShadow(ShadowBatch{
+		ActiveVersion: activeVer,
+		ShadowVersion: shVer,
+		Inputs:        ins,
+		Active:        active,
+		Shadow:        outs,
+	})
 }
 
 // Close stops accepting submissions, serves everything already queued and

@@ -289,6 +289,12 @@ type Runner struct {
 	order  []string
 	seq    int
 
+	// hookMu guards the optional continual-learning hooks, installed after
+	// construction by the server's online wiring.
+	hookMu   sync.Mutex
+	observe  func(model string, obs core.EpochObservation)
+	onResult func(model string, res *SimResult)
+
 	done, failed, canceled, submitted, rejected *telemetry.Counter
 	running                                     *telemetry.Gauge
 }
@@ -408,6 +414,37 @@ func (r *Runner) journal(rec JobRecord) {
 	if err := r.store.Append(rec); err != nil {
 		log.Printf("serve: job store append (%s -> %s): %v", rec.ID, rec.State, err)
 	}
+}
+
+// SetObserve installs a hook receiving every inference epoch of every
+// TOP-IL sim job, tagged with the job's model name — the continual
+// learner's visited-state recorder. Observation slices are reused by the
+// simulator; the hook must copy what it keeps.
+func (r *Runner) SetObserve(fn func(model string, obs core.EpochObservation)) {
+	r.hookMu.Lock()
+	defer r.hookMu.Unlock()
+	r.observe = fn
+}
+
+// SetOnResult installs a hook receiving every successfully completed
+// TOP-IL sim result, tagged with the job's model name — the continual
+// learner's live-telemetry feed.
+func (r *Runner) SetOnResult(fn func(model string, res *SimResult)) {
+	r.hookMu.Lock()
+	defer r.hookMu.Unlock()
+	r.onResult = fn
+}
+
+func (r *Runner) getObserve() func(string, core.EpochObservation) {
+	r.hookMu.Lock()
+	defer r.hookMu.Unlock()
+	return r.observe
+}
+
+func (r *Runner) getOnResult() func(string, *SimResult) {
+	r.hookMu.Lock()
+	defer r.hookMu.Unlock()
+	return r.onResult
 }
 
 // Submit validates and enqueues a job under a runner-minted ID, returning
@@ -628,6 +665,9 @@ func (r *Runner) run(j *Job) {
 		j.setState(StateDone)
 		r.count(StateDone)
 		r.journal(JobRecord{ID: j.id, State: StateDone, Result: res})
+		if fn := r.getOnResult(); fn != nil && j.req.Policy == "TOP-IL" {
+			fn(j.req.Model, res)
+		}
 	}
 }
 
@@ -696,7 +736,12 @@ func (r *Runner) manager(req SimRequest, cfg sim.Config) (sim.Manager, error) {
 		} else {
 			backend = npu.New(model)
 		}
-		return core.New(backend, core.DefaultConfig()), nil
+		cc := core.DefaultConfig()
+		if fn := r.getObserve(); fn != nil {
+			name := req.Model
+			cc.Observe = func(obs core.EpochObservation) { fn(name, obs) }
+		}
+		return core.New(backend, cc), nil
 	case "GTS/ondemand":
 		return governor.NewGTS(governor.Ondemand{UpThreshold: 0.8}), nil
 	case "GTS/powersave":

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -22,20 +23,89 @@ import (
 // models and answers inference requests with this error, never a panic.
 var ErrNotFound = errors.New("serve: model not found")
 
-// Registry loads named IL models from an artifacts directory and caches
-// them. A model name maps to <dir>/<name>.json, the artifact format written
-// by cmd/topil-train and core.SaveModel. Loaded models are shared, relied
-// on being read-only (see the nn package's concurrency guarantee).
-type Registry struct {
-	dir string
+// ErrVersionNotFound marks a request against a model version the registry
+// does not retain (never published, or pruned). The HTTP layer maps it to
+// 404 like ErrNotFound.
+var ErrVersionNotFound = errors.New("serve: model version not found")
 
-	mu     sync.RWMutex
-	models map[string]*nn.MLP
+// DefaultRetainVersions is how many published versions a model chain keeps
+// for rollback. The active and shadow versions are always retained on top
+// of this window.
+const DefaultRetainVersions = 8
+
+// Registry loads named IL models from an artifacts directory and manages a
+// monotonically versioned chain of published artifacts per model. The disk
+// file seeds version 1 exactly once — a deployment directory refreshed
+// behind a running server is deliberately NOT picked up (artifacts are
+// immutable; new weights enter through Publish + Swap). Loaded models are
+// shared, relied on being read-only (see the nn package's concurrency
+// guarantee).
+type Registry struct {
+	dir    string
+	retain int
+
+	mu     sync.Mutex
+	chains map[string]*chain
+}
+
+// chain is the version history of one model name. active/shadow are
+// atomic so the per-batch Acquire on the inference hot path never takes a
+// lock; mu orders Publish/Swap/prune against each other.
+type chain struct {
+	mu       sync.Mutex
+	versions []*Artifact // retained, ascending by version
+	next     int         // next version number to assign (starts at 1)
+	active   atomic.Pointer[Artifact]
+	shadow   atomic.Pointer[Artifact]
+}
+
+// Artifact is one immutable published model version. It implements
+// npu.Backend with the NPU latency model, so a batch bound to an artifact
+// keeps serving that exact version no matter what the chain does.
+type Artifact struct {
+	name    string
+	version int
+	source  string // provenance, e.g. "disk" or "online trainer cycle 3"
+	model   *nn.MLP
+	dev     *npu.NPU
+}
+
+// Name implements npu.Backend; the version is part of the identity.
+func (a *Artifact) Name() string { return fmt.Sprintf("serve/%s@v%d", a.name, a.version) }
+
+// Version returns the artifact's chain version (monotonic, from 1).
+func (a *Artifact) Version() int { return a.version }
+
+// Source returns the provenance string recorded at publish time.
+func (a *Artifact) Source() string { return a.source }
+
+// Model returns the underlying read-only network.
+func (a *Artifact) Model() *nn.MLP { return a.model }
+
+// Infer implements npu.Backend.
+func (a *Artifact) Infer(batch [][]float64) [][]float64 { return a.dev.Infer(batch) }
+
+// Latency implements npu.Backend.
+func (a *Artifact) Latency(batchSize int) time.Duration { return a.dev.Latency(batchSize) }
+
+// InferAsync mirrors npu.NPU.InferAsync: a non-blocking batched inference.
+func (a *Artifact) InferAsync(batch [][]float64) <-chan npu.Result {
+	return a.dev.InferAsync(batch)
 }
 
 // NewRegistry creates a registry over the given artifacts directory.
 func NewRegistry(dir string) *Registry {
-	return &Registry{dir: dir, models: make(map[string]*nn.MLP)}
+	return &Registry{dir: dir, retain: DefaultRetainVersions, chains: make(map[string]*chain)}
+}
+
+// SetRetainVersions adjusts the per-model rollback window (minimum 1).
+func (r *Registry) SetRetainVersions(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	r.retain = n
+	r.mu.Unlock()
 }
 
 // validName rejects names that would escape the artifacts directory.
@@ -49,19 +119,37 @@ func validName(name string) error {
 	return nil
 }
 
-// Model returns the named model, loading it from disk on first use.
-func (r *Registry) Model(name string) (*nn.MLP, error) {
+// chainFor returns (creating if needed) the chain for a valid name.
+func (r *Registry) chainFor(name string) (*chain, error) {
 	if err := validName(name); err != nil {
 		return nil, err
 	}
-	r.mu.RLock()
-	m := r.models[name]
-	r.mu.RUnlock()
-	if m != nil {
-		return m, nil
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.chains[name]
+	if c == nil {
+		c = &chain{next: 1}
+		r.chains[name] = c
 	}
-	// Load outside the lock; a duplicate concurrent load is harmless (last
-	// writer wins, both copies are identical read-only networks).
+	return c, nil
+}
+
+// activeArtifact returns the chain's active artifact, seeding it from the
+// disk file on first use. The disk read happens at most once per name for
+// the registry's lifetime.
+func (r *Registry) activeArtifact(name string) (*Artifact, error) {
+	c, err := r.chainFor(name)
+	if err != nil {
+		return nil, err
+	}
+	if a := c.active.Load(); a != nil {
+		return a, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a := c.active.Load(); a != nil {
+		return a, nil
+	}
 	m, err := core.LoadModel(filepath.Join(r.dir, name+".json"), 0, 0)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -69,14 +157,223 @@ func (r *Registry) Model(name string) (*nn.MLP, error) {
 		}
 		return nil, fmt.Errorf("serve: loading model %q: %w", name, err)
 	}
-	r.mu.Lock()
-	if prev := r.models[name]; prev != nil {
-		m = prev
-	} else {
-		r.models[name] = m
+	a := &Artifact{name: name, version: c.next, source: "disk", model: m, dev: npu.New(m)}
+	c.next++
+	c.versions = append(c.versions, a)
+	c.active.Store(a)
+	return a, nil
+}
+
+// Model returns the named model's active version, loading the disk
+// artifact on first use.
+func (r *Registry) Model(name string) (*nn.MLP, error) {
+	a, err := r.activeArtifact(name)
+	if err != nil {
+		return nil, err
 	}
+	return a.model, nil
+}
+
+// Publish appends new weights to the model's version chain and returns the
+// assigned version number. Publishing does not change which version serves
+// traffic — that is Swap — but it does prune versions beyond the retention
+// window (never the active or shadow one). The new model's shape must
+// match the chain's active model, so a swap can never change the wire
+// contract of in-flight clients.
+func (r *Registry) Publish(name string, m *nn.MLP, source string) (int, error) {
+	if m == nil {
+		return 0, fmt.Errorf("serve: publishing nil model for %q", name)
+	}
+	// Seed the chain from disk first so version numbers and shape checks
+	// are anchored to the deployed artifact. A chain with no disk file is
+	// still publishable (the online trainer owns the model end to end).
+	if _, err := r.activeArtifact(name); err != nil && !errors.Is(err, ErrNotFound) {
+		return 0, err
+	}
+	c, err := r.chainFor(name)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a := c.active.Load(); a != nil {
+		if m.InputDim() != a.model.InputDim() || m.OutputDim() != a.model.OutputDim() {
+			return 0, fmt.Errorf("serve: model %q version shape %dx%d does not match active %dx%d",
+				name, m.InputDim(), m.OutputDim(), a.model.InputDim(), a.model.OutputDim())
+		}
+	}
+	a := &Artifact{name: name, version: c.next, source: source, model: m, dev: npu.New(m)}
+	c.next++
+	c.versions = append(c.versions, a)
+	r.mu.Lock()
+	retain := r.retain
 	r.mu.Unlock()
-	return m, nil
+	c.pruneLocked(retain)
+	return a.version, nil
+}
+
+// pruneLocked drops the oldest versions beyond the retention window,
+// keeping the active and shadow artifacts regardless of age. Callers hold
+// c.mu.
+func (c *chain) pruneLocked(retain int) {
+	if len(c.versions) <= retain {
+		return
+	}
+	act, sh := c.active.Load(), c.shadow.Load()
+	kept := make([]*Artifact, 0, retain+2)
+	drop := len(c.versions) - retain
+	for i, a := range c.versions {
+		if i < drop && a != act && a != sh {
+			continue
+		}
+		kept = append(kept, a)
+	}
+	c.versions = kept
+}
+
+// findLocked returns the retained artifact with the given version.
+func (c *chain) findLocked(version int) *Artifact {
+	for _, a := range c.versions {
+		if a.version == version {
+			return a
+		}
+	}
+	return nil
+}
+
+// Swap atomically makes the given retained version the active one and
+// returns the previously active version (0 if none). In-flight batches
+// complete against the version they acquired; batches formed after Swap
+// returns bind the new one — no batch ever mixes versions. Swapping the
+// current shadow version promotes it and clears the shadow slot.
+func (r *Registry) Swap(name string, version int) (prev int, err error) {
+	c, err := r.chainFor(name)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.findLocked(version)
+	if a == nil {
+		return 0, fmt.Errorf("%w: %q version %d", ErrVersionNotFound, name, version)
+	}
+	if p := c.active.Load(); p != nil {
+		prev = p.version
+	}
+	c.active.Store(a)
+	if c.shadow.Load() == a {
+		c.shadow.Store(nil)
+	}
+	return prev, nil
+}
+
+// Rollback re-activates a retained prior version. It is Swap with intent:
+// the online manager calls it when post-promotion telemetry regresses.
+func (r *Registry) Rollback(name string, version int) (prev int, err error) {
+	return r.Swap(name, version)
+}
+
+// SetShadow mirrors live traffic onto the given retained version: batches
+// are re-run against it after the active results are delivered, but its
+// predictions are never served. Swapping the shadowed version to active
+// clears the slot.
+func (r *Registry) SetShadow(name string, version int) error {
+	c, err := r.chainFor(name)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.findLocked(version)
+	if a == nil {
+		return fmt.Errorf("%w: %q version %d", ErrVersionNotFound, name, version)
+	}
+	c.shadow.Store(a)
+	return nil
+}
+
+// ClearShadow stops mirroring traffic for the named model.
+func (r *Registry) ClearShadow(name string) {
+	if c, err := r.chainFor(name); err == nil {
+		c.shadow.Store(nil)
+	}
+}
+
+// ActiveVersion returns the version currently serving traffic, seeding
+// from disk if the chain is untouched.
+func (r *Registry) ActiveVersion(name string) (int, error) {
+	a, err := r.activeArtifact(name)
+	if err != nil {
+		return 0, err
+	}
+	return a.version, nil
+}
+
+// VersionInfo describes one retained artifact for status surfaces.
+type VersionInfo struct {
+	Version int    `json:"version"`
+	Source  string `json:"source"`
+	Active  bool   `json:"active"`
+	Shadow  bool   `json:"shadow"`
+}
+
+// Versions lists the retained chain, ascending by version.
+func (r *Registry) Versions(name string) ([]VersionInfo, error) {
+	c, err := r.chainFor(name)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	act, sh := c.active.Load(), c.shadow.Load()
+	out := make([]VersionInfo, 0, len(c.versions))
+	for _, a := range c.versions {
+		out = append(out, VersionInfo{
+			Version: a.version,
+			Source:  a.source,
+			Active:  a == act,
+			Shadow:  a == sh,
+		})
+	}
+	return out, nil
+}
+
+// Source returns a BackendSource bound to the model's chain: each Acquire
+// snapshots the active artifact, each Shadow the mirrored one. The chain
+// is seeded from disk so the source is immediately servable.
+func (r *Registry) Source(name string) (*ModelSource, error) {
+	if _, err := r.activeArtifact(name); err != nil {
+		return nil, err
+	}
+	c, err := r.chainFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return &ModelSource{c: c}, nil
+}
+
+// ModelSource adapts a model's version chain to the Batcher's
+// BackendSource: lock-free snapshots of the active and shadow artifacts.
+type ModelSource struct {
+	c *chain
+}
+
+// Acquire implements BackendSource.
+func (s *ModelSource) Acquire() (npu.Backend, int) {
+	a := s.c.active.Load()
+	if a == nil {
+		return nil, 0
+	}
+	return a, a.version
+}
+
+// Shadow implements BackendSource.
+func (s *ModelSource) Shadow() (npu.Backend, int, bool) {
+	a := s.c.shadow.Load()
+	if a == nil {
+		return nil, 0, false
+	}
+	return a, a.version, true
 }
 
 // List returns the model names available on disk (without extension),
@@ -102,35 +399,40 @@ func (r *Registry) List() ([]string, error) {
 }
 
 // Backend returns an npu.Backend serving the named model with the NPU's
-// latency semantics — the registry-backed device the Batcher and the sim
-// runner hand to TOP-IL.
+// latency semantics — the registry-backed device the sim runner hands to
+// TOP-IL. The backend binds the active version at call time: a sim job
+// keeps the model it started with even if the chain swaps mid-run. (The
+// HTTP inference path uses Source instead, which re-binds per batch.)
 func (r *Registry) Backend(name string) (*ModelBackend, error) {
-	m, err := r.Model(name)
+	a, err := r.activeArtifact(name)
 	if err != nil {
 		return nil, err
 	}
-	return &ModelBackend{name: name, dev: npu.New(m)}, nil
+	return &ModelBackend{name: name, art: a}, nil
 }
 
-// ModelBackend adapts a registry model to npu.Backend with the NPU latency
-// model (batched inference at near-constant invocation cost). It also
-// offers the NPU's non-blocking call, so it satisfies npu conformance
+// ModelBackend adapts one bound artifact to npu.Backend with the NPU
+// latency model (batched inference at near-constant invocation cost). It
+// also offers the NPU's non-blocking call, so it satisfies npu conformance
 // including InferAsync agreement.
 type ModelBackend struct {
 	name string
-	dev  *npu.NPU
+	art  *Artifact
 }
 
 // Name implements npu.Backend.
 func (b *ModelBackend) Name() string { return "serve/" + b.name }
 
+// Version returns the bound artifact's version.
+func (b *ModelBackend) Version() int { return b.art.version }
+
 // Infer implements npu.Backend.
-func (b *ModelBackend) Infer(batch [][]float64) [][]float64 { return b.dev.Infer(batch) }
+func (b *ModelBackend) Infer(batch [][]float64) [][]float64 { return b.art.Infer(batch) }
 
 // Latency implements npu.Backend.
-func (b *ModelBackend) Latency(batchSize int) time.Duration { return b.dev.Latency(batchSize) }
+func (b *ModelBackend) Latency(batchSize int) time.Duration { return b.art.Latency(batchSize) }
 
 // InferAsync mirrors npu.NPU.InferAsync: a non-blocking batched inference.
 func (b *ModelBackend) InferAsync(batch [][]float64) <-chan npu.Result {
-	return b.dev.InferAsync(batch)
+	return b.art.InferAsync(batch)
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -44,6 +45,9 @@ type Config struct {
 	// TraceSpans bounds the wall-time request trace ring served by
 	// GET /v1/trace (default 4096; oldest spans are dropped beyond it).
 	TraceSpans int
+	// Online configures DAgger-style continual imitation learning with
+	// shadow-evaluated hot swaps (see internal/online and docs/ONLINE.md).
+	Online OnlineConfig
 }
 
 // Server is the HTTP service: model registry + batching inference frontend
@@ -62,6 +66,9 @@ type Server struct {
 	// jobs keep being served, and is reported by GET /v1/healthz so a
 	// router stops routing here.
 	draining atomic.Bool
+
+	// online is the continual-learning runtime (nil when disabled).
+	online *onlineState
 
 	mu       sync.Mutex
 	batchers map[string]*Batcher
@@ -101,6 +108,14 @@ func NewServer(cfg Config) *Server {
 	// deterministic packages use with sim time.
 	cfg.Telemetry.GaugeFunc("serve_uptime_seconds",
 		"seconds since the server was constructed", clock.Now)
+	if cfg.Online.Enabled {
+		// A misconfigured learner must not take serving down with it: log,
+		// serve without it, and let the operator notice via GET /v1/online
+		// (enabled=false) or OnlineManager() == nil.
+		if err := s.startOnline(); err != nil {
+			log.Printf("serve: online learning disabled: %v", err)
+		}
+	}
 	return s
 }
 
@@ -125,6 +140,7 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/jobs", s.handleJobs)
 	route("GET /v1/jobs/{id}", s.handleJob)
 	route("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	route("GET /v1/online", s.handleOnline)
 	route("GET /v1/stats", s.handleStats)
 	route("GET /v1/trace", s.handleTrace)
 	route("GET /metrics", s.handleMetrics)
@@ -157,6 +173,9 @@ func (s *Server) Shutdown(ctx context.Context) {
 		b.Close()
 	}
 	s.runner.Shutdown(ctx)
+	// After the runner drains: in-flight sim jobs record visited states
+	// until they finish, so the sample log must outlive them.
+	s.closeOnline()
 }
 
 // batcherFor returns (creating on first use) the per-model batcher. All
@@ -174,7 +193,11 @@ func (s *Server) batcherFor(name string) (*Batcher, error) {
 	}
 	s.mu.Unlock()
 
-	backend, err := s.reg.Backend(name)
+	// The batcher binds its backend per batch through the registry's
+	// version chain: a Swap takes effect at the next batch boundary, so
+	// in-flight batches complete against the version they acquired and no
+	// batch ever mixes versions.
+	src, err := s.reg.Source(name)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +217,13 @@ func (s *Server) batcherFor(name string) (*Batcher, error) {
 	bcfg := s.cfg.Batch
 	bcfg.Registry = s.tel
 	bcfg.Name = name
-	b := NewBatcher(backend, model.InputDim(), bcfg)
+	if s.online != nil && name == s.online.model {
+		mgr := s.online.manager
+		bcfg.OnShadow = func(sb ShadowBatch) {
+			mgr.ObserveShadow(sb.ActiveVersion, sb.ShadowVersion, sb.Active, sb.Shadow)
+		}
+	}
+	b := NewBatcherSource(src, model.InputDim(), bcfg)
 	s.batchers[name] = b
 	return b, nil
 }
@@ -398,7 +427,16 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.WallUs = float64(time.Since(start)) / float64(time.Microsecond)
+	if s.online != nil && req.Model == s.online.model {
+		s.online.recordInfer(req.Inputs, resp.Outputs)
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleOnline serves the continual learner's status snapshot; when the
+// learner is disabled it reports the zero status with enabled=false.
+func (s *Server) handleOnline(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.onlineStatus())
 }
 
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
@@ -517,7 +555,7 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrConflict):
 		return http.StatusConflict
-	case errors.Is(err, ErrNotFound):
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrVersionNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, ErrInference):
 		return http.StatusBadGateway

@@ -33,6 +33,7 @@ var volatileKeys = map[string]bool{
 	"meanMs": true, "p50Ms": true, "p95Ms": true, "maxMs": true,
 	"load": true, "batches": true, "flushFull": true, "flushTimer": true,
 	"largestBatch": true, "meanBatch": true, "batchSizes": true,
+	"lastCycleUnix": true,
 }
 
 // normalizeWire zeroes every volatile field in a JSON document, keyed by
@@ -199,6 +200,30 @@ func TestWireContract(t *testing.T) {
 	}
 	checkWire(t, "job", "job_done", body)
 	checkWire(t, "jobs", "jobs", wireGet(t, ts.URL+"/v1/jobs", http.StatusOK))
+
+	// No Online config on this server: /v1/online reports the zero status.
+	checkWire(t, "online", "online_disabled", wireGet(t, ts.URL+"/v1/online", http.StatusOK))
+}
+
+// TestWireOnlineEnabled pins /v1/online for an idle enabled learner: the
+// hour-long train interval keeps every counter at zero, so the snapshot is
+// fully deterministic.
+func TestWireOnlineEnabled(t *testing.T) {
+	dir := t.TempDir()
+	writeModel(t, dir, "model-1", []int{21, 32, 8}, 1)
+	s := NewServer(Config{ModelsDir: dir, Workers: 1, QueueCap: 4, Online: OnlineConfig{
+		Enabled: true, Model: "model-1", Dir: t.TempDir(),
+		TrainInterval: time.Hour,
+	}})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+	})
+	if s.OnlineManager() == nil {
+		t.Fatal("online learner failed to start")
+	}
+	checkWire(t, "online", "online_enabled", wireGet(t, ts.URL+"/v1/online", http.StatusOK))
 }
 
 // TestWireErrorNotFound pins the 404 bodies: an unknown job, and inference
@@ -288,7 +313,8 @@ func TestWireFixturesCommitted(t *testing.T) {
 	want := []string{
 		"err_backpressure", "err_infer_fault", "err_job_not_found",
 		"err_model_not_found", "healthz", "infer", "job_accepted",
-		"job_done", "jobs", "models", "stats",
+		"job_done", "jobs", "models", "online_disabled", "online_enabled",
+		"stats",
 	}
 	for _, name := range want {
 		path := filepath.Join("testdata", "wire", name+".json")

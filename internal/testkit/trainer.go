@@ -1,0 +1,113 @@
+package testkit
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/nn"
+	"repro/internal/online"
+)
+
+// TrainerFaults configures the continual-learning fault classes injected
+// by WrapLabeler and WrapTrain. Probabilities are fractions in [0,1]; zero
+// disables the class without consuming randomness.
+type TrainerFaults struct {
+	// LabelErrProb is the per-query probability that the DAgger expert
+	// returns an error — a crashed oracle simulation. Fraction in [0,1].
+	LabelErrProb float64
+	// LabelPanicProb is the per-query probability that the expert panics,
+	// exercising the training loop's recovery path. Fraction in [0,1].
+	LabelPanicProb float64
+	// TrainErrProb is the per-cycle probability that retraining returns an
+	// error — a diverged fit. Fraction in [0,1].
+	TrainErrProb float64
+	// TrainPanicProb is the per-cycle probability that retraining panics —
+	// a bug in the optimizer. Fraction in [0,1].
+	TrainPanicProb float64
+}
+
+// chaosLabeler injects expert-query faults in front of an inner labeler.
+type chaosLabeler struct {
+	inner  online.Labeler
+	chaos  *Chaos
+	faults TrainerFaults
+}
+
+// WrapLabeler returns a fault-injecting view of the DAgger expert, drawing
+// faults from c's RNG stream. Injected panics are the fault itself, not an
+// API misuse; the online manager must absorb both classes without swapping
+// a model or blocking serving.
+func (c *Chaos) WrapLabeler(inner online.Labeler, f TrainerFaults) online.Labeler {
+	return &chaosLabeler{inner: inner, chaos: c, faults: f}
+}
+
+// Label implements online.Labeler. Panics when the injector's RNG fires
+// the LabelPanicProb class — the panic IS the injected fault, and the
+// online manager's recovery path must absorb it.
+func (l *chaosLabeler) Label(s online.Sample) ([]float64, bool, error) {
+	c := l.chaos
+	c.mu.Lock()
+	if c.roll(l.faults.LabelPanicProb) {
+		c.record("trainer", "label-panic", "seq=%d", s.Seq)
+		c.mu.Unlock()
+		panic("testkit: injected labeler fault")
+	}
+	if c.roll(l.faults.LabelErrProb) {
+		c.record("trainer", "label-error", "seq=%d", s.Seq)
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("testkit: injected label error (seq %d)", s.Seq)
+	}
+	c.mu.Unlock()
+	return l.inner.Label(s)
+}
+
+// WrapTrain returns a fault-injecting view of the retraining step, drawing
+// faults from c's RNG stream. The returned TrainFunc panics when the
+// TrainPanicProb class fires — the panic is the injected fault itself,
+// exercising the manager's train-recovery path.
+func (c *Chaos) WrapTrain(inner online.TrainFunc, f TrainerFaults) online.TrainFunc {
+	return func(incumbent *nn.MLP, ds nn.Dataset, seed int64) (*nn.MLP, error) {
+		c.mu.Lock()
+		if c.roll(f.TrainPanicProb) {
+			c.record("trainer", "train-panic", "rows=%d", ds.Len())
+			c.mu.Unlock()
+			panic("testkit: injected training fault")
+		}
+		if c.roll(f.TrainErrProb) {
+			c.record("trainer", "train-error", "rows=%d", ds.Len())
+			c.mu.Unlock()
+			return nil, fmt.Errorf("testkit: injected training error (%d rows)", ds.Len())
+		}
+		c.mu.Unlock()
+		return inner(incumbent, ds, seed)
+	}
+}
+
+// CorruptSampleTail simulates a crash mid-append on an online sample log:
+// it overwrites the final n bytes of dir's journal with garbage that can
+// never carry a valid checksum. online.OpenSampleLog must recover every
+// record before the torn tail and drop the rest.
+func CorruptSampleTail(dir string, n int) error {
+	path := filepath.Join(dir, "samples.log")
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if int64(n) > fi.Size() {
+		n = int(fi.Size())
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	garbage := make([]byte, n)
+	for i := range garbage {
+		garbage[i] = 0xff
+	}
+	if _, err := f.WriteAt(garbage, fi.Size()-int64(n)); err != nil {
+		return err
+	}
+	return f.Sync()
+}

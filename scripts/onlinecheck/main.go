@@ -1,0 +1,293 @@
+// Command onlinecheck is the online-smoke driver behind `make online-smoke`
+// (scripts/check.sh online-smoke): it boots an in-process serve instance
+// with continual learning enabled and asserts that at least one full
+// DAgger cycle completes end to end —
+//
+//	recorded → labeled → trained → shadow-scored → promoted
+//
+// — using the real oracle labeler (on a coarse quick grid), the real
+// promotion-gate replay and the real registry hot swap, all over the HTTP
+// surface. The one pinned piece is the retraining step, which warm-starts
+// a clone of the incumbent: the smoke must be deterministic, and a cloned
+// candidate passes the gate by construction, while training convergence
+// itself is covered by the internal/online unit tests. The driver also
+// scrapes /metrics and requires the online_* families to have surfaced.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/online"
+	"repro/internal/oracle"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("onlinecheck: ")
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "onlinecheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "onlinecheck")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	modelsDir := filepath.Join(dir, "models")
+	if err := os.MkdirAll(modelsDir, 0o755); err != nil {
+		return err
+	}
+	if err := core.SaveModel(nn.NewMLP([]int{21, 24, 8}, 1),
+		filepath.Join(modelsDir, "policy.json")); err != nil {
+		return err
+	}
+
+	// Coarse two-level oracle grid with short windows: one uncached
+	// scenario query stays well under a second, and label fidelity is
+	// irrelevant here — the smoke proves the pipeline, not the policy.
+	lcfg := oracle.DefaultConfig()
+	lcfg.LevelGrid = []int{0, 8}
+	lcfg.WarmupSec = 2
+	lcfg.MeasureSec = 1
+	lcfg.Dt = 0.02
+
+	reg := telemetry.NewRegistry()
+	srv := serve.NewServer(serve.Config{
+		ModelsDir: modelsDir,
+		Workers:   2,
+		QueueCap:  8,
+		Telemetry: reg,
+		Batch:     serve.BatcherConfig{MaxBatch: 8, MaxWait: time.Millisecond, QueueCap: 64},
+		Online: serve.OnlineConfig{
+			Enabled:       true,
+			Model:         "policy",
+			Dir:           filepath.Join(dir, "online"),
+			TrainInterval: 250 * time.Millisecond,
+			ShadowWindow:  4,
+			MinAgreement:  -1, // retrained actions may drift; the replay gate still judges
+			MinNewSamples: 1,
+			Seed:          7,
+			Labeler:       online.NewOracleLabeler(lcfg),
+			Train: func(incumbent *nn.MLP, ds nn.Dataset, seed int64) (*nn.MLP, error) {
+				return incumbent.Clone(), nil
+			},
+			Replay: online.SimReplay(5, 2),
+		},
+	})
+	if srv.OnlineManager() == nil {
+		return fmt.Errorf("continual learner failed to start")
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Shutdown(context.Background())
+	}()
+
+	// Stage 1: a TOP-IL sim against the online model records visited
+	// states (QoS modest enough to be feasible, so labels carry signal).
+	if err := runSim(ts.URL); err != nil {
+		return err
+	}
+	log.Print("sim done; waiting for label/train/shadow cycle")
+
+	// Stage 2: wait for the background loop to label, retrain and stage a
+	// candidate, then mirror infer traffic onto it until promotion.
+	deadline := time.Now().Add(90 * time.Second)
+	var st online.Status
+	for {
+		st, err = status(ts.URL)
+		if err != nil {
+			return err
+		}
+		if st.Promotions >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no promotion after 90s: %+v", st)
+		}
+		if st.CandidateVersion > 0 {
+			if err := inferOnce(ts.URL); err != nil {
+				return err
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Stage 3: the full chain must have fired, in order.
+	switch {
+	case st.SamplesRecorded == 0:
+		return fmt.Errorf("no samples recorded: %+v", st)
+	case st.SamplesLabeled == 0:
+		return fmt.Errorf("no samples labeled: %+v", st)
+	case st.TrainCycles == 0:
+		return fmt.Errorf("no train cycles: %+v", st)
+	case st.ActiveVersion < 2:
+		return fmt.Errorf("promotion did not advance the active version: %+v", st)
+	}
+
+	// Stage 4: the online_* metric families surfaced on /metrics, and the
+	// candidate really was shadow-scored before its promotion
+	// (Status.ShadowComparisons is per-candidate and resets on promotion;
+	// the counter is the cumulative record).
+	page, err := getBody(ts.URL + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, fam := range []string{
+		"online_samples_recorded_total", "online_samples_labeled_total",
+		"online_train_cycles_total", "online_shadow_rows_total",
+		"online_promotions_total", "online_dataset_size",
+	} {
+		if !bytes.Contains(page, []byte(fam)) {
+			return fmt.Errorf("/metrics missing family %s", fam)
+		}
+	}
+	shadowRows, err := metricValue(page, `online_shadow_rows_total{model="policy"}`)
+	if err != nil {
+		return err
+	}
+	if shadowRows <= 0 {
+		return fmt.Errorf("candidate promoted without shadow scoring (online_shadow_rows_total = %g)", shadowRows)
+	}
+
+	fmt.Printf("online smoke OK: recorded=%d labeled=%d trainCycles=%d shadowRows=%g promotions=%d active=v%d\n",
+		st.SamplesRecorded, st.SamplesLabeled, st.TrainCycles,
+		shadowRows, st.Promotions, st.ActiveVersion)
+	return nil
+}
+
+// metricValue extracts one sample value from a Prometheus text page.
+func metricValue(page []byte, series string) (float64, error) {
+	for _, line := range bytes.Split(page, []byte("\n")) {
+		if rest, ok := bytes.CutPrefix(line, []byte(series+" ")); ok {
+			var v float64
+			if _, err := fmt.Sscanf(string(rest), "%g", &v); err != nil {
+				return 0, fmt.Errorf("parsing %s sample %q: %v", series, rest, err)
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("/metrics has no series %s", series)
+}
+
+// runSim submits one short TOP-IL simulation against the online model and
+// polls it to completion.
+func runSim(base string) error {
+	body, _ := json.Marshal(map[string]interface{}{
+		"policy":   "TOP-IL",
+		"model":    "policy",
+		"duration": 3,
+		"seed":     11,
+		"jobs": []workload.JobEntry{
+			{Name: "adi", TotalInstr: 1e12, QoS: 2e8, Arrival: 0},
+			{Name: "seidel-2d", TotalInstr: 1e12, QoS: 2e8, Arrival: 0},
+		},
+	})
+	resp, err := http.Post(base+"/v1/sim", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var snap struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("POST /v1/sim = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		b, err := getBody(base + "/v1/jobs/" + snap.ID)
+		if err != nil {
+			return err
+		}
+		var js struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(b, &js); err != nil {
+			return err
+		}
+		switch js.State {
+		case "done":
+			return nil
+		case "failed", "canceled":
+			return fmt.Errorf("sim job ended %s: %s", js.State, js.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sim job stuck in %s", js.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// inferOnce sends one two-row inference so the batcher mirrors a shadow
+// batch onto the staged candidate.
+func inferOnce(base string) error {
+	inputs := make([][]float64, 2)
+	for i := range inputs {
+		inputs[i] = make([]float64, 21)
+		for j := range inputs[i] {
+			inputs[i][j] = 0.05 * float64(i+j)
+		}
+	}
+	body, _ := json.Marshal(map[string]interface{}{"model": "policy", "inputs": inputs})
+	resp, err := http.Post(base+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/infer = %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func status(base string) (online.Status, error) {
+	var st online.Status
+	b, err := getBody(base + "/v1/online")
+	if err != nil {
+		return st, err
+	}
+	return st, json.Unmarshal(b, &st)
+}
+
+func getBody(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s = %d", url, resp.StatusCode)
+	}
+	return b, nil
+}
